@@ -1,0 +1,139 @@
+// Command cdnsim runs one trace-driven CDN consistency simulation — an
+// update method on an update infrastructure — and prints the metrics the
+// paper reports: per-server/per-user inconsistency, traffic cost, message
+// counts, and user-observed inconsistency.
+//
+// Usage:
+//
+//	cdnsim -method TTL -infra Unicast -servers 170 -users 5
+//	cdnsim -system HAT            # one of the paper's named systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
+	var (
+		system    = fs.String("system", "", "named system: Push, Invalidation, TTL, Self, Hybrid, HAT")
+		method    = fs.String("method", "TTL", "update method: TTL, Push, Invalidation, Self, AdaptiveTTL, Lease, Regime")
+		infra     = fs.String("infra", "Unicast", "infrastructure: Unicast, Multicast, Hybrid, Broadcast")
+		servers   = fs.Int("servers", 170, "content servers")
+		users     = fs.Int("users", 5, "end-users per server")
+		serverTTL = fs.Duration("serverttl", 60*time.Second, "content-server TTL")
+		userTTL   = fs.Duration("userttl", 10*time.Second, "end-user visit period")
+		updateKB  = fs.Float64("updatekb", 1, "update payload size (KB)")
+		clusters  = fs.Int("clusters", 20, "hybrid cluster count")
+		seed      = fs.Int64("seed", 1, "deterministic seed")
+		switching = fs.Bool("switch", false, "users switch servers every visit (Figure 24 scenario)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := resolveSystem(*system, *method, *infra)
+	if err != nil {
+		return err
+	}
+
+	opts := []core.Option{
+		core.WithServers(*servers),
+		core.WithUsersPerServer(*users),
+		core.WithServerTTL(*serverTTL),
+		core.WithUserTTL(*userTTL),
+		core.WithUpdateSizeKB(*updateKB),
+		core.WithClusters(*clusters),
+		core.WithSeed(*seed),
+	}
+	if *switching {
+		opts = append(opts, core.WithUserSwitching())
+	}
+	res, err := core.Run(sys, opts...)
+	if err != nil {
+		return err
+	}
+	printResult(sys, res)
+	return nil
+}
+
+func resolveSystem(system, method, infra string) (core.System, error) {
+	if system != "" {
+		return core.SystemByName(system)
+	}
+	var m consistency.Method
+	switch method {
+	case "TTL":
+		m = consistency.MethodTTL
+	case "Push":
+		m = consistency.MethodPush
+	case "Invalidation":
+		m = consistency.MethodInvalidation
+	case "Self":
+		m = consistency.MethodSelfAdaptive
+	case "AdaptiveTTL":
+		m = consistency.MethodAdaptiveTTL
+	case "Lease":
+		m = consistency.MethodLease
+	case "Regime":
+		m = consistency.MethodRegime
+	default:
+		return core.System{}, fmt.Errorf("unknown method %q", method)
+	}
+	var inf consistency.Infra
+	switch infra {
+	case "Unicast":
+		inf = consistency.InfraUnicast
+	case "Multicast":
+		inf = consistency.InfraMulticast
+	case "Hybrid":
+		inf = consistency.InfraHybrid
+	case "Broadcast":
+		inf = consistency.InfraBroadcast
+	default:
+		return core.System{}, fmt.Errorf("unknown infra %q", infra)
+	}
+	return core.System{Name: method + "/" + infra, Method: m, Infra: inf}, nil
+}
+
+func printResult(sys core.System, res *cdn.Result) {
+	fmt.Printf("system\t%s (%v on %v)\n", sys.Name, sys.Method, sys.Infra)
+	fmt.Printf("tree_depth\t%d\n", res.TreeDepth)
+	if res.Supernodes > 0 {
+		fmt.Printf("supernodes\t%d\n", res.Supernodes)
+	}
+	ss, err := stats.Summarize(res.ServerAvgInconsistency)
+	if err == nil {
+		fmt.Printf("server_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
+			res.MeanServerInconsistency(), ss.P5, ss.Median, ss.P95)
+	}
+	us, err := stats.Summarize(res.UserAvgInconsistency)
+	if err == nil {
+		fmt.Printf("user_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
+			res.MeanUserInconsistency(), us.P5, us.Median, us.P95)
+	}
+	fmt.Printf("update_msgs_to_servers\t%d\n", res.UpdateMsgsToServers)
+	fmt.Printf("update_msgs_from_provider\t%d\n", res.UpdateMsgsFromProvider)
+	fmt.Printf("light_msgs\t%d\n", res.LightMsgs)
+	for _, class := range res.Accounting.Classes() {
+		tot := res.Accounting.ByClass[class]
+		fmt.Printf("traffic_%v\tmsgs=%d km=%.0f kmKB=%.0f\n", class, tot.Messages, tot.Km, tot.KmKB)
+	}
+	fmt.Printf("user_inconsistent_observation_frac\t%.4f\n", res.InconsistentObservationFrac())
+	fmt.Printf("events\t%d\n", res.Events)
+}

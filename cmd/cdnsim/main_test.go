@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func small(extra ...string) []string {
+	return append([]string{"-servers", "25", "-users", "2", "-clusters", "5"}, extra...)
+}
+
+func TestRunNamedSystem(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(small("-system", "HAT")) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"system\tHAT", "supernodes", "server_inconsistency_s", "traffic_update"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMethodInfraCombos(t *testing.T) {
+	combos := [][2]string{
+		{"TTL", "Unicast"}, {"Push", "Multicast"}, {"Invalidation", "Unicast"},
+		{"Self", "Hybrid"}, {"AdaptiveTTL", "Unicast"},
+	}
+	for _, c := range combos {
+		out, err := captureStdout(t, func() error {
+			return run(small("-method", c[0], "-infra", c[1]))
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !strings.Contains(out, "update_msgs_to_servers") {
+			t.Errorf("%v: missing metrics", c)
+		}
+	}
+}
+
+func TestRunSwitchScenario(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(small("-system", "TTL", "-switch"))
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "user_inconsistent_observation_frac") {
+		t.Error("missing observation metric")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-system", "NotASystem"},
+		{"-method", "NotAMethod"},
+		{"-infra", "NotAnInfra"},
+		{"-servers", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunExtensionMethods(t *testing.T) {
+	combos := [][2]string{
+		{"Lease", "Unicast"}, {"Regime", "Unicast"}, {"Push", "Broadcast"},
+	}
+	for _, c := range combos {
+		out, err := captureStdout(t, func() error {
+			return run(small("-method", c[0], "-infra", c[1]))
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !strings.Contains(out, "update_msgs_to_servers") {
+			t.Errorf("%v: missing metrics", c)
+		}
+	}
+	// Invalid pairings surface as errors.
+	if _, err := captureStdout(t, func() error {
+		return run(small("-method", "Lease", "-infra", "Multicast"))
+	}); err == nil {
+		t.Error("Lease/Multicast accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command experiments regenerates every data figure in the paper — the
+// Section-3 measurement figures from a synthetic crawl and the Section-4/5
+// evaluation figures from the cdn simulation — plus the design ablations.
+// Its output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # everything at default (paper-like) scale
+//	experiments -scale small    # fast pass
+//	experiments -only fig22     # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdnconsistency/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "paper", "scale: paper or small")
+		only      = fs.String("only", "", "run a single figure id (e.g. fig03, fig22, ablation-queue)")
+		format    = fs.String("format", "text", "output format: text or markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		traceScale figures.TraceScale
+		simScale   figures.SimScale
+	)
+	switch *scaleName {
+	case "paper":
+		traceScale = figures.DefaultTraceScale()
+		simScale = figures.DefaultSimScale()
+	case "small":
+		traceScale = figures.SmallTraceScale()
+		simScale = figures.SmallSimScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	type job struct {
+		id  string
+		run func() (*figures.Table, error)
+	}
+	var env *figures.TraceEnv
+	traceEnv := func() (*figures.TraceEnv, error) {
+		if env != nil {
+			return env, nil
+		}
+		var err error
+		env, err = figures.NewTraceEnv(traceScale)
+		return env, err
+	}
+	traceJob := func(id string, fn func(*figures.TraceEnv) (*figures.Table, error)) job {
+		return job{id: id, run: func() (*figures.Table, error) {
+			e, err := traceEnv()
+			if err != nil {
+				return nil, err
+			}
+			return fn(e)
+		}}
+	}
+	simJob := func(id string, fn func(figures.SimScale) (*figures.Table, error)) job {
+		return job{id: id, run: func() (*figures.Table, error) { return fn(simScale) }}
+	}
+
+	jobs := []job{
+		traceJob("fig03", figures.Fig03),
+		traceJob("fig04", figures.Fig04),
+		traceJob("fig05", figures.Fig05),
+		traceJob("fig06", figures.Fig06),
+		traceJob("fig07", figures.Fig07),
+		traceJob("fig08", figures.Fig08),
+		traceJob("fig09", figures.Fig09),
+		traceJob("fig10", figures.Fig10),
+		traceJob("fig11", figures.Fig11),
+		traceJob("fig12", figures.Fig12),
+		traceJob("tree-verdict", figures.TreeVerdictTable),
+		simJob("fig14", figures.Fig14),
+		simJob("fig15", figures.Fig15),
+		simJob("fig16", figures.Fig16),
+		simJob("fig17", figures.Fig17),
+		simJob("fig18", figures.Fig18),
+		simJob("fig19", figures.Fig19),
+		simJob("fig20", figures.Fig20),
+		simJob("fig22", figures.Fig22),
+		simJob("fig23", figures.Fig23),
+		simJob("fig24", figures.Fig24),
+		simJob("ext-broadcast", figures.ExtBroadcast),
+		simJob("ext-tree-failure", figures.ExtTreeFailure),
+		simJob("ext-lease", figures.ExtLease),
+		simJob("ext-dns", figures.ExtDNS),
+		simJob("ext-regime", figures.ExtRegime),
+		simJob("ext-catalog", figures.ExtCatalog),
+		simJob("ablation-queue", figures.AblationQueue),
+		simJob("ablation-proximity", figures.AblationProximity),
+		simJob("ablation-adaptive", figures.AblationAdaptive),
+		simJob("ablation-hilbert", figures.AblationHilbert),
+		simJob("ablation-depth", figures.AblationFailure),
+	}
+
+	matched := false
+	for _, j := range jobs {
+		if *only != "" && j.id != *only {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		tab, err := j.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Println(tab.Markdown())
+		case "text":
+			fmt.Println(tab.String())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", j.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("no figure matches %q", *only)
+	}
+	return nil
+}

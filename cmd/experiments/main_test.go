@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestRunSingleTraceFigure(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "small", "-only", "fig03"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "fig03") || !strings.Contains(out, "mean_s") {
+		t.Errorf("fig03 output malformed:\n%s", out)
+	}
+}
+
+func TestRunSingleSimFigure(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "small", "-only", "fig16"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "multicast_kmKB") {
+		t.Errorf("fig16 output malformed:\n%s", out)
+	}
+}
+
+func TestRunSingleExtension(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "small", "-only", "ext-tree-failure"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "final_frac") {
+		t.Errorf("ext-tree-failure output malformed:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scale", "enormous"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-only", "fig99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

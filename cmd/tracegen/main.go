@@ -1,0 +1,64 @@
+// Command tracegen generates a synthetic CDN crawl trace (JSONL) with the
+// same schema and statistical phenomena as the paper's Section-3 crawl.
+//
+// Usage:
+//
+//	tracegen -servers 600 -days 5 -users 120 -seed 42 -out trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/trace"
+	"cdnconsistency/internal/tracegen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		servers = fs.Int("servers", 600, "number of content servers to crawl")
+		days    = fs.Int("days", 5, "number of crawl days")
+		users   = fs.Int("users", 120, "number of user-perspective pollers")
+		seed    = fs.Int64("seed", 42, "deterministic seed")
+		out     = fs.String("out", "-", "output path ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := tracegen.Generate(tracegen.Config{
+		Topology: topology.Config{Servers: *servers, Seed: *seed},
+		Days:     *days,
+		Users:    *users,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, res.Trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d servers, %d days, %d records\n",
+		len(res.Trace.Servers), res.Trace.Meta.Days, len(res.Trace.Records))
+	return nil
+}

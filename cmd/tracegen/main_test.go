@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdnconsistency/internal/trace"
+)
+
+func TestRunWritesValidTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{"-servers", "20", "-days", "1", "-users", "5", "-seed", "3", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(tr.Servers) != 20 || tr.Meta.Days != 1 {
+		t.Errorf("servers=%d days=%d", len(tr.Servers), tr.Meta.Days)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-servers", "notanumber"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-servers", "0", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if err := run([]string{"-servers", "5", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

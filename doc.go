@@ -1,0 +1,9 @@
+// Package cdnconsistency reproduces "Measuring and Evaluating Live Content
+// Consistency in a Large-Scale CDN" (Liu, Shen, Chandler, Li; ICDCS 2014 /
+// IEEE TPDS 2015) as a Go library: the Section-3 crawl-measurement pipeline
+// (internal/trace, internal/tracegen, internal/analysis), the Section-4
+// trace-driven evaluation of update methods and infrastructures
+// (internal/consistency, internal/overlay, internal/cdn), and the Section-5
+// HAT proposal (internal/core). See README.md for the layout and
+// EXPERIMENTS.md for the per-figure reproduction record.
+package cdnconsistency

@@ -1,0 +1,3 @@
+module cdnconsistency
+
+go 1.22

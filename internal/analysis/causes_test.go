@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cdnconsistency/internal/trace"
+)
+
+func TestDistanceCorrelation(t *testing.T) {
+	d := mustDataset(t, tinyTrace())
+	points, corr, err := d.DistanceCorrelation(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %+v, want 2 buckets", points)
+	}
+	// s1 at 100km ratio 1, s2 at 5000km ratio 0.8: perfect negative
+	// correlation on two points.
+	if math.Abs(corr+1) > 1e-9 {
+		t.Errorf("corr = %v, want -1", corr)
+	}
+	if points[0].AvgRatio != 1 || points[0].Servers != 1 {
+		t.Errorf("bucket 0 = %+v", points[0])
+	}
+}
+
+func TestDistanceCorrelationDefaults(t *testing.T) {
+	d := mustDataset(t, tinyTrace())
+	if _, _, err := d.DistanceCorrelation(0); err != nil {
+		t.Errorf("default bucket: %v", err)
+	}
+}
+
+func TestDistanceCorrelationTooFew(t *testing.T) {
+	tr := tinyTrace()
+	tr.Servers = tr.Servers[:1]
+	tr.Records = tr.Records[:0]
+	d := mustDataset(t, tr)
+	if _, _, err := d.DistanceCorrelation(500); err == nil {
+		t.Error("single server accepted")
+	}
+}
+
+func TestISPAnalysis(t *testing.T) {
+	d := mustDataset(t, tinyTrace())
+	clusters, err := d.ISPAnalysis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	// ISP 2 holds s2: intra-scoped alphas hide its staleness, inter
+	// (scoped to s1) reveals it.
+	var isp2 *ISPCluster
+	for i := range clusters {
+		if clusters[i].ISP == 2 {
+			isp2 = &clusters[i]
+		}
+	}
+	if isp2 == nil {
+		t.Fatal("isp 2 missing")
+	}
+	if isp2.AvgIntra != 0 {
+		t.Errorf("isp2 intra = %v, want 0", isp2.AvgIntra)
+	}
+	if isp2.AvgInter <= isp2.AvgIntra {
+		t.Errorf("inter (%v) not above intra (%v)", isp2.AvgInter, isp2.AvgIntra)
+	}
+	if _, err := d.ISPAnalysis(7); err == nil {
+		t.Error("bad day accepted")
+	}
+}
+
+func TestProviderResponseTimes(t *testing.T) {
+	tr := tinyTrace()
+	tr.Records = append(tr.Records,
+		trace.PollRecord{Day: 0, Server: "origin", Poller: "pp", At: 10 * time.Second,
+			Snapshot: 1, Provider: true, RTT: 800 * time.Millisecond},
+		trace.PollRecord{Day: 0, Server: "origin", Poller: "pp", At: 20 * time.Second,
+			Provider: true, Absent: true},
+	)
+	d := mustDataset(t, tr)
+	rts, err := d.ProviderResponseTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 1 || math.Abs(rts[0]-0.8) > 1e-9 {
+		t.Errorf("response times = %v, want [0.8]", rts)
+	}
+	if _, err := d.ProviderResponseTimes(2); err == nil {
+		t.Error("bad day accepted")
+	}
+}
+
+// absenceTrace: server s1 responds at 10,20 then is absent until 120 (gap
+// 100s => absence 90s), returning stale.
+func absenceTrace() *trace.Trace {
+	mk := func(server string, atSec, snap int) trace.PollRecord {
+		return trace.PollRecord{Day: 0, Server: server, Poller: "p-" + server,
+			At: time.Duration(atSec) * time.Second, Snapshot: snap}
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{Description: "abs", Days: 1,
+			PollInterval: 10 * time.Second, DayLength: 300 * time.Second,
+			ServerTTL: 60 * time.Second},
+		Servers: []trace.ServerInfo{{ID: "s1", ISP: 1}, {ID: "s2", ISP: 1}},
+		Records: []trace.PollRecord{
+			mk("s1", 10, 1), mk("s1", 20, 1),
+			// s2 keeps the alpha timeline alive during s1's absence,
+			// polling at the regular 10s cadence.
+			mk("s2", 10, 1), mk("s2", 20, 1), mk("s2", 30, 2), mk("s2", 40, 2),
+			mk("s2", 50, 2), mk("s2", 60, 3), mk("s2", 70, 3), mk("s2", 80, 3),
+			mk("s2", 90, 3), mk("s2", 100, 4), mk("s2", 110, 4), mk("s2", 120, 4),
+			mk("s2", 130, 4),
+			// s1 returns at 120 still showing snapshot 1 (stale since
+			// alpha_C2 = 30 -> inconsistency 90s).
+			mk("s1", 120, 1), mk("s1", 130, 4),
+		},
+	}
+}
+
+func TestAbsences(t *testing.T) {
+	d := mustDataset(t, absenceTrace())
+	abs, err := d.Absences(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abs) != 1 {
+		t.Fatalf("absences = %+v, want 1", abs)
+	}
+	a := abs[0]
+	if a.Server != "s1" {
+		t.Errorf("server = %s", a.Server)
+	}
+	if a.Length != 90*time.Second {
+		t.Errorf("length = %v, want 90s", a.Length)
+	}
+	if math.Abs(a.ReturnI-90) > 1e-9 {
+		t.Errorf("return inconsistency = %v, want 90", a.ReturnI)
+	}
+	if _, err := d.Absences(4); err == nil {
+		t.Error("bad day accepted")
+	}
+}
+
+func TestAbsenceEffect(t *testing.T) {
+	d := mustDataset(t, absenceTrace())
+	bins, err := d.AbsenceEffect(0, 50*time.Second, 400*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 9 { // zero bin + 8 bins of 50s
+		t.Fatalf("bins = %d, want 9", len(bins))
+	}
+	if bins[0].MaxLength != 0 {
+		t.Errorf("first bin bound = %v", bins[0].MaxLength)
+	}
+	// The 90s absence falls in bin (50,100].
+	var hit *AbsenceBin
+	for i := range bins {
+		if bins[i].MaxLength == 100*time.Second {
+			hit = &bins[i]
+		}
+	}
+	if hit == nil || hit.N != 1 || math.Abs(hit.AvgI-90) > 1e-9 {
+		t.Errorf("bin (50,100] = %+v, want N=1 AvgI=90", hit)
+	}
+}
+
+func TestAbsenceEffectBinBoundary(t *testing.T) {
+	// An absence of exactly 50s must land in (0,50], not (50,100].
+	tr := absenceTrace()
+	// Rebuild: s1 responds at 10 then at 70 (gap 60 => absence 50s).
+	tr.Records = []trace.PollRecord{
+		{Day: 0, Server: "s1", Poller: "p", At: 10 * time.Second, Snapshot: 1},
+		{Day: 0, Server: "s2", Poller: "q", At: 20 * time.Second, Snapshot: 2},
+		{Day: 0, Server: "s1", Poller: "p", At: 70 * time.Second, Snapshot: 1},
+	}
+	d := mustDataset(t, tr)
+	bins, err := d.AbsenceEffect(0, 50*time.Second, 400*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bins {
+		if b.MaxLength == 50*time.Second && b.N != 1 {
+			t.Errorf("bin (0,50] N = %d, want 1", b.N)
+		}
+		if b.MaxLength == 100*time.Second && b.N != 0 {
+			t.Errorf("bin (50,100] N = %d, want 0", b.N)
+		}
+	}
+}
+
+func TestAbsenceProximityEffect(t *testing.T) {
+	d := mustDataset(t, absenceTrace())
+	prox, err := d.AbsenceProximityEffect(0, 60*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prox) != 4 {
+		t.Fatalf("groups = %d, want 4", len(prox))
+	}
+	// The 90s absence is in group [0,100]; after-return window covers the
+	// stale poll at 120 (90s) and fresh poll at 130 (0s): avg 45.
+	g := prox[0]
+	if g.N != 1 {
+		t.Fatalf("group N = %d, want 1", g.N)
+	}
+	if math.Abs(g.AvgAfter-45) > 1e-9 {
+		t.Errorf("AvgAfter = %v, want 45", g.AvgAfter)
+	}
+	// Before-window covers polls at 10 and 20 (both fresh): avg 0.
+	if g.AvgBefore != 0 {
+		t.Errorf("AvgBefore = %v, want 0", g.AvgBefore)
+	}
+}

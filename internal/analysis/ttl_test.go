@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// uniformLengths draws n inconsistency lengths uniform on [0, ttlSec], plus
+// a small heavy tail beyond the TTL, mimicking the trace's shape.
+func uniformLengths(n int, ttlSec float64, tailFrac float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < tailFrac {
+			out = append(out, ttlSec+r.ExpFloat64()*40)
+		} else {
+			out = append(out, r.Float64()*ttlSec)
+		}
+	}
+	return out
+}
+
+func TestInferTTLRecoversTruth(t *testing.T) {
+	lengths := uniformLengths(20000, 60, 0.08, 1)
+	got, err := InferTTL(lengths, 40*time.Second, 80*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 55*time.Second || got > 65*time.Second {
+		t.Errorf("InferTTL = %v, want ~60s", got)
+	}
+}
+
+func TestTTLSweepValidation(t *testing.T) {
+	if _, err := TTLSweep(nil, 40*time.Second, 80*time.Second, 5*time.Second); err == nil {
+		t.Error("empty lengths accepted")
+	}
+	lengths := []float64{1, 2, 3}
+	bad := []struct{ from, to, step time.Duration }{
+		{0, 80 * time.Second, 5 * time.Second},
+		{80 * time.Second, 40 * time.Second, 5 * time.Second},
+		{40 * time.Second, 80 * time.Second, 0},
+	}
+	for _, b := range bad {
+		if _, err := TTLSweep(lengths, b.from, b.to, b.step); err == nil {
+			t.Errorf("TTLSweep(%v,%v,%v) accepted", b.from, b.to, b.step)
+		}
+	}
+}
+
+func TestTTLSweepShape(t *testing.T) {
+	lengths := uniformLengths(20000, 60, 0.08, 2)
+	sweep, err := TTLSweep(lengths, 40*time.Second, 80*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 5 {
+		t.Fatalf("sweep points = %d, want 5", len(sweep))
+	}
+	byTTL := map[time.Duration]float64{}
+	for _, s := range sweep {
+		byTTL[s.CandidateTTL] = s.Deviation
+	}
+	if byTTL[60*time.Second] >= byTTL[80*time.Second] {
+		t.Errorf("deviation(60s)=%v not below deviation(80s)=%v",
+			byTTL[60*time.Second], byTTL[80*time.Second])
+	}
+}
+
+func TestTTLSweepEmptyBucket(t *testing.T) {
+	// All lengths above every candidate: deviation should be 1, not NaN.
+	sweep, err := TTLSweep([]float64{500, 600}, 40*time.Second, 50*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sweep {
+		if s.Deviation != 1 {
+			t.Errorf("deviation = %v for empty bucket, want 1", s.Deviation)
+		}
+	}
+}
+
+func TestTTLTheoryRMSEPrefersTrueTTL(t *testing.T) {
+	lengths := uniformLengths(20000, 60, 0.08, 3)
+	rmse60, err := TTLTheoryRMSE(lengths, 60*time.Second, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse80, err := TTLTheoryRMSE(lengths, 80*time.Second, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse60 >= rmse80 {
+		t.Errorf("RMSE(60)=%v not below RMSE(80)=%v (paper: 0.046 vs 0.096)", rmse60, rmse80)
+	}
+	if rmse60 > 0.1 {
+		t.Errorf("RMSE(60)=%v unexpectedly large for uniform data", rmse60)
+	}
+}
+
+func TestTTLTheoryRMSEValidation(t *testing.T) {
+	if _, err := TTLTheoryRMSE([]float64{1}, 0, 10); err == nil {
+		t.Error("zero ttl accepted")
+	}
+	if _, err := TTLTheoryRMSE([]float64{500}, 60*time.Second, 10); err == nil {
+		t.Error("no in-range lengths accepted")
+	}
+}
+
+func TestTTLShare(t *testing.T) {
+	// Mean inconsistency 40s with TTL 60 -> share 30/40 = 75%, the
+	// paper's headline attribution.
+	lengths := []float64{40, 40, 40}
+	share, err := TTLShare(lengths, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(share-0.75) > 1e-9 {
+		t.Errorf("TTLShare = %v, want 0.75", share)
+	}
+	// Share caps at 1.
+	share, err = TTLShare([]float64{10}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share != 1 {
+		t.Errorf("TTLShare cap = %v, want 1", share)
+	}
+	if _, err := TTLShare(nil, 60*time.Second); err == nil {
+		t.Error("empty lengths accepted")
+	}
+}

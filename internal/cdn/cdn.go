@@ -1,0 +1,250 @@
+// Package cdn runs the paper's trace-driven evaluation (Sections 4 and 5):
+// a discrete-event simulation of a provider, content servers, and end-users
+// exercising one update method (TTL, Push, Invalidation, Self-adaptive,
+// AdaptiveTTL) over one infrastructure (unicast star, proximity-aware
+// multicast tree, or the hybrid supernode overlay), with the netmodel
+// accounting traffic the way the paper reports it.
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Method consistency.Method
+	Infra  consistency.Infra
+
+	// TreeDegree is the multicast tree arity (the paper uses 2 in
+	// Section 4); SupernodeDegree the hybrid supernode tree arity (4 in
+	// Section 5); Clusters the hybrid cluster count (20 in Section 5.3).
+	TreeDegree      int
+	SupernodeDegree int
+	Clusters        int
+
+	// Topology sizes the CDN (ignored if Topo is set).
+	Topology topology.Config
+	// Topo optionally supplies a prebuilt topology shared across runs.
+	Topo *topology.Topology
+
+	// ServerTTL is the content servers' poll period (60 s in the paper);
+	// UserTTL the end-users' visit period (10 s).
+	ServerTTL time.Duration
+	UserTTL   time.Duration
+
+	// UpdateSizeKB is the update payload (1 KB in Section 4, swept to
+	// 500 KB in Figure 19); LightSizeKB the control-message size (1 KB).
+	UpdateSizeKB float64
+	LightSizeKB  float64
+
+	// Updates is the publication schedule (defaults to a DefaultGame
+	// draw). StartDelay offsets the first publication (60 s in the
+	// paper); UserStartMax bounds the random user start offsets (50 s).
+	Updates      []workload.Update
+	StartDelay   time.Duration
+	UserStartMax time.Duration
+
+	// HorizonSlack extends the simulation beyond the last update so
+	// in-flight catch-ups complete.
+	HorizonSlack time.Duration
+
+	// UserSwitchEveryVisit makes each visit hit a uniformly random server
+	// (the Figure 24 scenario).
+	UserSwitchEveryVisit bool
+
+	// UseDNSRouting routes each visit through a modeled local DNS
+	// resolver (Figure 1): the resolver caches the server assignment for
+	// ResolverTTL, and expired entries re-resolve at the authoritative
+	// DNS, which picks among the nearest servers with load balancing —
+	// the redirection mechanism behind user-observed inconsistency
+	// (Section 3.3). Mutually exclusive with UserSwitchEveryVisit.
+	UseDNSRouting bool
+	// ResolverTTL is the local DNS cache lifetime; default 30 s.
+	ResolverTTL time.Duration
+
+	// LeaseDuration is the cooperative-lease lifetime for MethodLease;
+	// default 60 s.
+	LeaseDuration time.Duration
+
+	// FailServers crash-stops that many randomly chosen servers at random
+	// times in the middle third of the run. Failed servers stop
+	// responding to polls, fetches, pushes and visits. This exercises the
+	// paper's criticism that node failures break multicast-tree
+	// connectivity (Section 1).
+	FailServers int
+	// RepairTree re-attaches a failed node's orphaned children to the
+	// nearest live node (multicast only). Without it the failed node's
+	// subtree stops receiving pushed updates.
+	RepairTree bool
+
+	Net  netmodel.Config
+	Seed int64
+
+	// OnCatchUp, when set, is invoked synchronously whenever a server
+	// catches an update: server index (0-based), snapshot id, and the
+	// catch-up delay. Downstream users build staleness time series from
+	// it; the callback must not retain references past the call.
+	OnCatchUp func(server, snapshot int, delay time.Duration)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if !c.Method.Valid() {
+		return c, fmt.Errorf("cdn: invalid method %v", c.Method)
+	}
+	if !c.Infra.Valid() {
+		return c, fmt.Errorf("cdn: invalid infra %v", c.Infra)
+	}
+	if c.TreeDegree <= 0 {
+		c.TreeDegree = 2
+	}
+	if c.SupernodeDegree <= 0 {
+		c.SupernodeDegree = 4
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 20
+	}
+	if c.ServerTTL <= 0 {
+		c.ServerTTL = 60 * time.Second
+	}
+	if c.UserTTL <= 0 {
+		c.UserTTL = 10 * time.Second
+	}
+	if c.UpdateSizeKB <= 0 {
+		c.UpdateSizeKB = 1
+	}
+	if c.LightSizeKB <= 0 {
+		c.LightSizeKB = 1
+	}
+	if c.StartDelay < 0 {
+		return c, fmt.Errorf("cdn: negative StartDelay %v", c.StartDelay)
+	}
+	if c.StartDelay == 0 {
+		c.StartDelay = 60 * time.Second
+	}
+	if c.UserStartMax <= 0 {
+		c.UserStartMax = 50 * time.Second
+	}
+	if c.HorizonSlack <= 0 {
+		c.HorizonSlack = 5 * time.Minute
+	}
+	if c.ResolverTTL <= 0 {
+		c.ResolverTTL = 30 * time.Second
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 60 * time.Second
+	}
+	if c.Method == consistency.MethodLease && c.Infra != consistency.InfraUnicast {
+		return c, fmt.Errorf("cdn: MethodLease requires InfraUnicast (leaseholders are provider-direct)")
+	}
+	if c.Method == consistency.MethodRegime && c.Infra != consistency.InfraUnicast {
+		return c, fmt.Errorf("cdn: MethodRegime requires InfraUnicast (regimes register provider-direct)")
+	}
+	if c.Infra == consistency.InfraBroadcast && c.Method != consistency.MethodPush {
+		return c, fmt.Errorf("cdn: InfraBroadcast supports only MethodPush (flooding-based push)")
+	}
+	if c.UseDNSRouting && c.UserSwitchEveryVisit {
+		return c, fmt.Errorf("cdn: UseDNSRouting and UserSwitchEveryVisit are mutually exclusive")
+	}
+	if c.FailServers < 0 {
+		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
+	}
+	if len(c.Updates) == 0 {
+		updates, err := workload.Schedule(workload.DefaultGame(), c.Seed)
+		if err != nil {
+			return c, fmt.Errorf("cdn: default schedule: %w", err)
+		}
+		c.Updates = updates
+	}
+	for i := 1; i < len(c.Updates); i++ {
+		if c.Updates[i].At < c.Updates[i-1].At {
+			return c, fmt.Errorf("cdn: updates not time-ordered at %d", i)
+		}
+	}
+	return c, nil
+}
+
+// Result aggregates one run's outcomes.
+type Result struct {
+	// ServerAvgInconsistency is each server's mean catch-up delay in
+	// seconds (Figures 14(a), 15(a), 19, 20).
+	ServerAvgInconsistency []float64
+	// UserAvgInconsistency is each user's mean catch-up delay in seconds
+	// (Figures 14(b), 15(b)).
+	UserAvgInconsistency []float64
+	// Accounting is the traffic breakdown (Figures 16, 17, 18(b), 23).
+	Accounting netmodel.Accounting
+	// UpdateMsgsToServers counts update-class messages delivered to
+	// content servers (Figure 22(a)); UpdateMsgsFromProvider those sent
+	// by the provider itself (Figure 22(b)).
+	UpdateMsgsToServers    int
+	UpdateMsgsFromProvider int
+	// LightMsgs counts control messages (polls, invalidations, switch
+	// notifications).
+	LightMsgs int
+	// UserObservations / UserInconsistentObservations feed the Figure 24
+	// metric (observations older than the user's newest-seen content).
+	UserObservations             int
+	UserInconsistentObservations int
+	// TreeDepth is the deepest server in the update infrastructure.
+	TreeDepth int
+	// Supernodes is the supernode count (hybrid only).
+	Supernodes int
+	// Events is the number of simulation events processed.
+	Events uint64
+	// FailedServers is how many servers were crash-stopped.
+	FailedServers int
+	// LiveServersAtFinalVersion counts live servers holding the last
+	// published snapshot when the run ends — the connectivity measure the
+	// tree-failure ablation reports.
+	LiveServersAtFinalVersion int
+	// LiveServers is the number of servers still alive at the end.
+	LiveServers int
+	// DNSRedirects counts visits whose resolver answer switched servers.
+	DNSRedirects int
+	// DNSVisits counts visits routed through DNS.
+	DNSVisits int
+}
+
+// MeanServerInconsistency averages the per-server means.
+func (r *Result) MeanServerInconsistency() float64 { return mean(r.ServerAvgInconsistency) }
+
+// MeanUserInconsistency averages the per-user means.
+func (r *Result) MeanUserInconsistency() float64 { return mean(r.UserAvgInconsistency) }
+
+// InconsistentObservationFrac is the Figure 24 metric.
+func (r *Result) InconsistentObservationFrac() float64 {
+	if r.UserObservations == 0 {
+		return 0
+	}
+	return float64(r.UserInconsistentObservations) / float64(r.UserObservations)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSimulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}

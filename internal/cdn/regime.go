@@ -1,0 +1,104 @@
+package cdn
+
+import (
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
+)
+
+// MethodRegime: each server runs a consistency.RegimeController fed by its
+// own visit stream and observed update arrivals, re-deciding its regime
+// every control epoch (one server TTL) and registering the choice with the
+// provider:
+//
+//	RegimePush:         the provider pushes every update to the server.
+//	RegimeInvalidation: the provider sends one aggregated invalidation;
+//	                    the next visit fetches and re-arms it.
+//	RegimeTTL:          the server polls on its TTL.
+
+// scheduleRegimeLoops starts each server in the TTL regime with its
+// controller and control-epoch timer.
+func (s *simulation) scheduleRegimeLoops() {
+	for _, nd := range s.nodes[1:] {
+		rc, err := consistency.NewRegimeController(consistency.RegimeConfig{})
+		if err != nil {
+			continue // defaults cannot fail; defensive
+		}
+		nd.rc = rc
+		nd.regime = consistency.RegimeTTL
+		i := nd.idx
+		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)))
+		s.at(offset, func() { s.pollParent(i) })
+		s.at(offset+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
+	}
+}
+
+// regimeEpoch re-evaluates one server's regime and reschedules itself.
+func (s *simulation) regimeEpoch(i int) {
+	nd := s.nodes[i]
+	if nd.down {
+		return
+	}
+	if nd.rc.Decide() {
+		next := nd.rc.Regime()
+		nd.regime = next
+		// Register the new regime with the provider.
+		arr := s.send(i, 0, s.cfg.LightSizeKB, netmodel.ClassLight)
+		s.at(arr, func() { s.applyRegime(i, next) })
+		switch next {
+		case consistency.RegimeTTL:
+			if nd.pollStopped {
+				nd.pollStopped = false
+				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+			}
+		default:
+			// Push and Invalidation regimes stop the poll loop; the
+			// in-flight poll (if any) notices via nd.regime.
+			nd.pollStopped = true
+		}
+	}
+	s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
+}
+
+// applyRegime updates the provider's per-server registries.
+func (s *simulation) applyRegime(i int, r consistency.Regime) {
+	p := s.nodes[0]
+	if p.pushSubs == nil {
+		p.pushSubs = make(map[int]bool)
+	}
+	if p.subscribers == nil {
+		p.subscribers = make(map[int]bool)
+	}
+	delete(p.pushSubs, i)
+	delete(p.subscribers, i)
+	switch r {
+	case consistency.RegimePush:
+		p.pushSubs[i] = true
+	case consistency.RegimeInvalidation:
+		p.subscribers[i] = false // pending notification on the next update
+	}
+}
+
+// regimePublish disseminates a fresh update under MethodRegime: pushes to
+// push-regime servers and (aggregated) invalidations to invalidation-regime
+// servers. TTL-regime servers find it on their next poll.
+func (s *simulation) regimePublish() {
+	provider := s.nodes[0]
+	v := provider.version
+	for _, sub := range sortedKeys(provider.pushSubs) {
+		child := sub
+		arrival := s.send(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(arrival, func() {
+			nd := s.nodes[child]
+			if nd.down || v <= nd.version {
+				return
+			}
+			s.setVersion(nd, v)
+			if nd.rc != nil {
+				nd.rc.ObserveUpdate(s.eng.Now())
+			}
+		})
+	}
+	s.notifySubscribers(provider)
+}

@@ -1,0 +1,250 @@
+package cdn
+
+import (
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
+)
+
+// scheduleServerLoops starts the poll loops of every polling node. Under
+// Push and Invalidation nothing polls; under the hybrid infrastructure
+// supernodes receive pushes and never poll.
+func (s *simulation) scheduleServerLoops() {
+	switch s.cfg.Method {
+	case consistency.MethodPush, consistency.MethodInvalidation:
+		return
+	case consistency.MethodLease:
+		s.scheduleLeaseLoops()
+		return
+	case consistency.MethodRegime:
+		s.scheduleRegimeLoops()
+		return
+	}
+	for _, nd := range s.nodes[1:] {
+		if s.cfg.Infra == consistency.InfraHybrid && nd.isSupernode {
+			continue
+		}
+		switch s.cfg.Method {
+		case consistency.MethodSelfAdaptive:
+			nd.auto = consistency.NewSelfAdaptive()
+		case consistency.MethodAdaptiveTTL:
+			adapt, err := consistency.NewAdaptiveTTL(consistency.AdaptiveTTLConfig{
+				MinTTL: s.cfg.UserTTL,
+				MaxTTL: 4 * s.cfg.ServerTTL,
+			})
+			if err == nil {
+				nd.adapt = adapt
+			}
+		}
+		// Stagger first polls uniformly over one TTL, as TTL caches do.
+		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)))
+		i := nd.idx
+		s.at(offset, func() { s.pollParent(i) })
+	}
+}
+
+// pollParent performs one TTL-family poll: a light request up the tree, an
+// update-class response down carrying the parent's current content. A dead
+// parent never answers; the poller times out and retries one TTL later.
+func (s *simulation) pollParent(i int) {
+	if s.nodes[i].down {
+		return // a crashed server's poll loop ends
+	}
+	p := s.tree.Parent(i)
+	reqArrival := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
+	s.at(reqArrival, func() {
+		if s.nodes[p].down {
+			// Timeout path: retry on the next TTL boundary.
+			s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+			return
+		}
+		v := s.nodes[p].version
+		respArrival := s.send(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(respArrival, func() { s.onPollResponse(i, p, v) })
+	})
+}
+
+func (s *simulation) onPollResponse(i, p, v int) {
+	nd := s.nodes[i]
+	if nd.down {
+		return
+	}
+	hadUpdate := v > nd.version
+	s.setVersion(nd, v)
+	nd.valid = true
+
+	switch s.cfg.Method {
+	case consistency.MethodSelfAdaptive:
+		notify, err := nd.auto.OnPollResult(hadUpdate)
+		if err != nil {
+			// A poll response raced a mode switch; drop it.
+			return
+		}
+		if notify {
+			// Switch to Invalidation (Algorithm 1 line 8): register
+			// with the parent and pause the poll loop.
+			nd.pollStopped = true
+			arr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
+			s.at(arr, func() { s.subscribe(p, i) })
+			return
+		}
+		s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+	case consistency.MethodAdaptiveTTL:
+		now := s.eng.Now()
+		if hadUpdate {
+			nd.adapt.ObserveUpdate(now)
+		} else {
+			nd.adapt.ObserveMiss()
+		}
+		s.at(now+nd.adapt.NextTTL(), func() { s.pollParent(i) })
+	case consistency.MethodRegime:
+		if hadUpdate && nd.rc != nil {
+			nd.rc.ObserveUpdate(s.eng.Now())
+		}
+		// Keep polling only while still in the TTL regime.
+		if nd.regime == consistency.RegimeTTL && !nd.pollStopped {
+			s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+		}
+	default: // plain TTL
+		s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+	}
+}
+
+// subscribe registers child as an Invalidation-mode subscriber at a source
+// node (provider or supernode).
+func (s *simulation) subscribe(src, child int) {
+	nd := s.nodes[src]
+	if nd.subscribers == nil {
+		nd.subscribers = make(map[int]bool)
+	}
+	// If the source already has newer content than the child could have
+	// seen, notify immediately rather than waiting for the next publish —
+	// handles an update racing the subscription.
+	nd.subscribers[child] = false
+	if nd.version > s.nodes[child].version {
+		s.notifySubscribers(nd)
+	}
+}
+
+// triggerFetch starts (or joins) a fetch of fresh content from i's parent,
+// used by the Invalidation method. cb fires when the content arrives.
+func (s *simulation) triggerFetch(i int, cb func()) {
+	nd := s.nodes[i]
+	if cb != nil {
+		nd.fetchCallbacks = append(nd.fetchCallbacks, cb)
+	}
+	if nd.fetchInFlight {
+		return
+	}
+	nd.fetchInFlight = true
+	p := s.tree.Parent(i)
+	arr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
+	s.at(arr, func() { s.serveFetch(p, i) })
+}
+
+// serveFetch answers child's fetch at node p. An invalid intermediate node
+// first refreshes itself from its own parent (chained fetch along the
+// multicast tree). A dead parent never answers: the child's fetch fails and
+// its callbacks observe the stale content it still holds.
+func (s *simulation) serveFetch(p, child int) {
+	pn := s.nodes[p]
+	if pn.down {
+		s.failFetch(child)
+		return
+	}
+	if p == 0 || pn.valid {
+		if p == 0 && s.cfg.Method == consistency.MethodRegime {
+			// Re-arm the aggregated invalidation for this subscriber.
+			if _, ok := pn.subscribers[child]; ok {
+				pn.subscribers[child] = false
+			}
+		}
+		v := pn.version
+		arr := s.send(p, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(arr, func() { s.completeFetch(child, v) })
+		return
+	}
+	pn.waiters = append(pn.waiters, child)
+	s.triggerFetch(p, nil)
+}
+
+func (s *simulation) completeFetch(i, v int) {
+	nd := s.nodes[i]
+	nd.fetchInFlight = false
+	if nd.down {
+		return
+	}
+	s.setVersion(nd, v)
+	nd.valid = true
+	waiters := nd.waiters
+	nd.waiters = nil
+	for _, c := range waiters {
+		s.serveFetch(i, c)
+	}
+	cbs := nd.fetchCallbacks
+	nd.fetchCallbacks = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// failFetch aborts a fetch whose upstream died: pending callbacks fire
+// against the stale local content, and waiting children fail in turn.
+func (s *simulation) failFetch(i int) {
+	nd := s.nodes[i]
+	nd.fetchInFlight = false
+	waiters := nd.waiters
+	nd.waiters = nil
+	for _, c := range waiters {
+		s.failFetch(c)
+	}
+	cbs := nd.fetchCallbacks
+	nd.fetchCallbacks = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// selfAdaptiveVisitPoll is the Algorithm 1 lines 10-13 path: the first visit
+// after an invalidation polls the parent, notifies the switch back to TTL,
+// and resumes the poll loop. onDone fires when the fresh content is in.
+func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
+	p := s.tree.Parent(i)
+	reqArr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
+	s.at(reqArr, func() {
+		if s.nodes[p].down {
+			// The source died: the automaton already returned to TTL
+			// mode, so resume the poll loop (it will time out against
+			// the dead parent but keeps the node live for repair-free
+			// analysis) and serve the stale content.
+			nd := s.nodes[i]
+			if nd.pollStopped {
+				nd.pollStopped = false
+				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+			}
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		v := s.nodes[p].version
+		respArr := s.send(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(respArr, func() {
+			nd := s.nodes[i]
+			s.setVersion(nd, v)
+			nd.valid = true
+			// Notify the switch back (Algorithm 1 line 12).
+			notifArr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
+			s.at(notifArr, func() { delete(s.nodes[p].subscribers, i) })
+			// Resume TTL polling.
+			if nd.pollStopped {
+				nd.pollStopped = false
+				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+			}
+			if onDone != nil {
+				onDone()
+			}
+		})
+	})
+}

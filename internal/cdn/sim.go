@@ -1,0 +1,584 @@
+package cdn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/dns"
+	"cdnconsistency/internal/geo"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/overlay"
+	"cdnconsistency/internal/sim"
+	"cdnconsistency/internal/topology"
+)
+
+// node is one participant: index 0 is the provider, 1..N are content
+// servers (some of which are supernodes under the hybrid infrastructure).
+type node struct {
+	idx int
+	ep  netmodel.Endpoint
+
+	version int  // newest snapshot held
+	valid   bool // false after an invalidation until the next fetch
+
+	// Invalidation fetch deduplication: children waiting for our answer
+	// while our own fetch is in flight, plus local completion callbacks
+	// (deferred user observations).
+	fetchInFlight  bool
+	waiters        []int
+	fetchCallbacks []func()
+
+	// Per-method state.
+	auto  *consistency.SelfAdaptive
+	adapt *consistency.AdaptiveTTL
+	// Regime-method state: the controller and its cached decision on
+	// servers; the push-regime registry on the provider.
+	rc       *consistency.RegimeController
+	regime   consistency.Regime
+	pushSubs map[int]bool
+	// subscribers tracks children that switched to Invalidation under the
+	// self-adaptive method; the value records whether the pending
+	// invalidation notice was already sent (updates aggregate until the
+	// child's first visit, Section 5.1).
+	subscribers map[int]bool
+
+	// pollStopped marks self-adaptive nodes whose TTL loop is paused.
+	pollStopped bool
+
+	// Ground-truth inconsistency accounting.
+	catchupSum float64
+	catchupN   int
+
+	isSupernode bool
+	// down marks a crash-stopped server: it no longer responds, polls,
+	// forwards, or serves visits.
+	down bool
+
+	// Cooperative-lease state: on servers, the local lease expiry and a
+	// renewal-in-flight flag; on the provider, the leaseholder registry.
+	leaseExpiry   time.Duration
+	leaseRenewing bool
+	leases        map[int]time.Duration
+}
+
+// user is one simulated end-user.
+type user struct {
+	idx     int
+	homeSrv int // node index of the home server
+	maxSeen int
+	// resolver routes visits when DNS routing is on; lastServer tracks
+	// redirections.
+	resolver   *dns.Resolver
+	lastServer int
+	// catch-up accounting mirrors the server metric at visit granularity.
+	catchupSum float64
+	catchupN   int
+	// Figure 24 accounting.
+	observations int
+	inconsistent int
+}
+
+type simulation struct {
+	cfg  Config
+	eng  *sim.Engine
+	net  *netmodel.Network
+	topo *topology.Topology
+	tree *overlay.Tree
+
+	nodes []*node
+	users []*user
+
+	// locs and alive support multicast tree repair after failures.
+	locs  []geo.Point
+	alive []bool
+	auth  *dns.Authoritative
+
+	// Broadcast flooding clusters.
+	clusterOf      []int
+	clusterMembers [][]int
+
+	dnsRedirects int
+	dnsVisits    int
+
+	// publishAt[snapshot] is the absolute publication time (snapshot ids
+	// are 1-based; index 0 unused).
+	publishAt []time.Duration
+	horizon   time.Duration
+
+	updateMsgsToServers    int
+	updateMsgsFromProvider int
+	lightMsgs              int
+}
+
+func newSimulation(cfg Config) (*simulation, error) {
+	topo := cfg.Topo
+	if topo == nil {
+		var err error
+		topo, err = topology.Generate(cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: %w", err)
+		}
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	s := &simulation{
+		cfg:  cfg,
+		eng:  eng,
+		net:  netmodel.New(cfg.Net, eng.Rand()),
+		topo: topo,
+	}
+
+	// Node 0 is the provider.
+	s.nodes = append(s.nodes, &node{
+		idx:   0,
+		ep:    endpoint("provider", topo.Provider.Loc, topo.Provider.ISP),
+		valid: true,
+	})
+	for i, srv := range topo.Servers {
+		s.nodes = append(s.nodes, &node{
+			idx:   i + 1,
+			ep:    endpoint(srv.ID, srv.Loc, srv.ISP),
+			valid: true,
+		})
+	}
+
+	s.locs = make([]geo.Point, len(s.nodes))
+	s.alive = make([]bool, len(s.nodes))
+	for i, nd := range s.nodes {
+		s.locs[i] = nd.ep.Loc
+		s.alive[i] = true
+	}
+
+	if err := s.buildTree(); err != nil {
+		return nil, err
+	}
+
+	if cfg.UseDNSRouting {
+		entries := make([]dns.ServerEntry, 0, len(topo.Servers))
+		for i, srv := range topo.Servers {
+			entries = append(entries, dns.ServerEntry{Index: i + 1, Loc: srv.Loc})
+		}
+		auth, err := dns.NewAuthoritative(entries, 3, eng.Rand())
+		if err != nil {
+			return nil, fmt.Errorf("cdn: %w", err)
+		}
+		s.auth = auth
+	}
+
+	s.publishAt = make([]time.Duration, len(cfg.Updates)+1)
+	for _, u := range cfg.Updates {
+		if u.Snapshot <= 0 || u.Snapshot >= len(s.publishAt) {
+			return nil, fmt.Errorf("cdn: update snapshot %d outside 1..%d", u.Snapshot, len(cfg.Updates))
+		}
+		s.publishAt[u.Snapshot] = cfg.StartDelay + u.At
+	}
+	last := cfg.Updates[len(cfg.Updates)-1].At
+	s.horizon = cfg.StartDelay + last + cfg.HorizonSlack
+	return s, nil
+}
+
+func endpoint(id string, loc geo.Point, isp int) netmodel.Endpoint {
+	return netmodel.Endpoint{ID: id, Loc: loc, ISP: isp}
+}
+
+// buildTree constructs the update infrastructure over node indices.
+func (s *simulation) buildTree() error {
+	n := len(s.nodes) - 1
+	switch s.cfg.Infra {
+	case consistency.InfraUnicast:
+		t, err := overlay.BuildUnicastStar(n)
+		if err != nil {
+			return err
+		}
+		s.tree = t
+	case consistency.InfraMulticast:
+		locs := make([]geo.Point, len(s.nodes))
+		for i, nd := range s.nodes {
+			locs[i] = nd.ep.Loc
+		}
+		t, err := overlay.BuildMulticast(locs, s.cfg.TreeDegree)
+		if err != nil {
+			return err
+		}
+		s.tree = t
+	case consistency.InfraHybrid:
+		return s.buildHybridTree()
+	case consistency.InfraBroadcast:
+		t, err := overlay.BuildUnicastStar(n)
+		if err != nil {
+			return err
+		}
+		s.tree = t
+		return s.buildBroadcastClusters()
+	default:
+		return fmt.Errorf("cdn: unsupported infra %v", s.cfg.Infra)
+	}
+	return nil
+}
+
+// buildHybridTree implements Section 5.2: Hilbert-curve clusters, one
+// supernode each, supernodes in a proximity-aware k-ary multicast tree under
+// the provider, members in a star under their supernode.
+func (s *simulation) buildHybridTree() error {
+	clusters, err := s.topo.HilbertClusters(s.cfg.Clusters)
+	if err != nil {
+		return err
+	}
+	supernode := make([]int, len(clusters)) // node index of each cluster's supernode
+	for ci, cl := range clusters {
+		sn, err := s.topo.ElectSupernode(cl)
+		if err != nil {
+			return err
+		}
+		supernode[ci] = sn + 1 // node indices are server index + 1
+		s.nodes[sn+1].isSupernode = true
+	}
+
+	// Proximity multicast over [provider, supernodes...].
+	locs := make([]geo.Point, 0, len(supernode)+1)
+	locs = append(locs, s.nodes[0].ep.Loc)
+	for _, sn := range supernode {
+		locs = append(locs, s.nodes[sn].ep.Loc)
+	}
+	snTree, err := overlay.BuildMulticast(locs, s.cfg.SupernodeDegree)
+	if err != nil {
+		return err
+	}
+
+	// Translate into a parent array over all nodes.
+	parents := make([]int, len(s.nodes))
+	parents[0] = overlay.NoParent
+	for ci, sn := range supernode {
+		p := snTree.Parent(ci + 1) // position in the supernode tree
+		if p == 0 {
+			parents[sn] = 0
+		} else {
+			parents[sn] = supernode[p-1]
+		}
+	}
+	for ci, cl := range clusters {
+		for _, m := range cl.Members {
+			ni := m + 1
+			if ni == supernode[ci] {
+				continue
+			}
+			parents[ni] = supernode[ci]
+		}
+	}
+	t, err := overlay.NewTreeFromParents(parents)
+	if err != nil {
+		return err
+	}
+	s.tree = t
+	return nil
+}
+
+// send wraps netmodel.Send with the message counters the figures need and
+// returns the arrival time.
+func (s *simulation) send(from, to int, sizeKB float64, class netmodel.Class) time.Duration {
+	arrival := s.net.Send(s.nodes[from].ep, s.nodes[to].ep, sizeKB, class, s.eng.Now())
+	switch class {
+	case netmodel.ClassUpdate:
+		if to != 0 {
+			s.updateMsgsToServers++
+		}
+		if from == 0 {
+			s.updateMsgsFromProvider++
+		}
+	case netmodel.ClassLight:
+		s.lightMsgs++
+	}
+	return arrival
+}
+
+// setVersion advances a node's content and records ground-truth catch-up
+// delays for every update the node just caught.
+func (s *simulation) setVersion(nd *node, v int) {
+	if v <= nd.version {
+		return
+	}
+	now := s.eng.Now()
+	for id := nd.version + 1; id <= v && id < len(s.publishAt); id++ {
+		if at := s.publishAt[id]; at > 0 && now >= at {
+			nd.catchupSum += (now - at).Seconds()
+			nd.catchupN++
+			if s.cfg.OnCatchUp != nil && nd.idx > 0 {
+				s.cfg.OnCatchUp(nd.idx-1, id, now-at)
+			}
+		}
+	}
+	nd.version = v
+	nd.valid = true
+}
+
+// pushMethod reports whether nd receives pushed updates: everything under
+// MethodPush, and supernodes under the hybrid infrastructure regardless of
+// the cluster-internal method (Section 5.2 pushes to supernodes).
+func (s *simulation) pushedTo(nd *node) bool {
+	if s.cfg.Method == consistency.MethodPush {
+		return true
+	}
+	return s.cfg.Infra == consistency.InfraHybrid && nd.isSupernode
+}
+
+// invalidatedTo reports whether nd receives invalidation notices on every
+// update (plain Invalidation method; supernodes relay within clusters).
+func (s *simulation) invalidatedTo() bool {
+	return s.cfg.Method == consistency.MethodInvalidation
+}
+
+func (s *simulation) run() (*Result, error) {
+	s.eng.SetMaxEvents(200_000_000)
+	s.schedulePublications()
+	s.scheduleServerLoops()
+	s.scheduleUsers()
+	s.scheduleFailures()
+	if err := s.eng.Run(s.horizon); err != nil {
+		return nil, fmt.Errorf("cdn: %w", err)
+	}
+
+	res := &Result{
+		Accounting:             s.net.Accounting(),
+		UpdateMsgsToServers:    s.updateMsgsToServers,
+		UpdateMsgsFromProvider: s.updateMsgsFromProvider,
+		LightMsgs:              s.lightMsgs,
+		TreeDepth:              s.tree.MaxDepth(),
+		Events:                 s.eng.Processed(),
+		DNSRedirects:           s.dnsRedirects,
+		DNSVisits:              s.dnsVisits,
+	}
+	finalVersion := len(s.publishAt) - 1
+	for _, nd := range s.nodes[1:] {
+		avg := 0.0
+		if nd.catchupN > 0 {
+			avg = nd.catchupSum / float64(nd.catchupN)
+		}
+		res.ServerAvgInconsistency = append(res.ServerAvgInconsistency, avg)
+		if nd.isSupernode {
+			res.Supernodes++
+		}
+		if nd.down {
+			res.FailedServers++
+			continue
+		}
+		res.LiveServers++
+		if nd.version >= finalVersion {
+			res.LiveServersAtFinalVersion++
+		}
+	}
+	for _, u := range s.users {
+		avg := 0.0
+		if u.catchupN > 0 {
+			avg = u.catchupSum / float64(u.catchupN)
+		}
+		res.UserAvgInconsistency = append(res.UserAvgInconsistency, avg)
+		res.UserObservations += u.observations
+		res.UserInconsistentObservations += u.inconsistent
+	}
+	return res, nil
+}
+
+// scheduleFailures crash-stops FailServers random servers at random times
+// in the middle third of the run.
+func (s *simulation) scheduleFailures() {
+	if s.cfg.FailServers <= 0 {
+		return
+	}
+	n := len(s.nodes) - 1
+	count := s.cfg.FailServers
+	if count > n {
+		count = n
+	}
+	// Distinct victims via partial Fisher-Yates over server indices.
+	victims := make([]int, n)
+	for i := range victims {
+		victims[i] = i + 1
+	}
+	rng := s.eng.Rand()
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(n-i)
+		victims[i], victims[j] = victims[j], victims[i]
+	}
+	windowStart := s.horizon / 3
+	window := s.horizon / 3
+	for _, v := range victims[:count] {
+		v := v
+		at := windowStart + time.Duration(rng.Int63n(int64(window)))
+		s.at(at, func() { s.failServer(v) })
+	}
+}
+
+// failServer crash-stops a node and, when configured, repairs the multicast
+// tree around it so its orphaned subtree keeps receiving updates.
+func (s *simulation) failServer(v int) {
+	nd := s.nodes[v]
+	if nd.down {
+		return
+	}
+	nd.down = true
+	if !s.cfg.RepairTree {
+		return
+	}
+	// Tree repair only applies to degree-bounded multicast trees; the
+	// unicast star and hybrid stars have no relaying role to repair
+	// (children of the star root are leaves).
+	if s.cfg.Infra != consistency.InfraMulticast {
+		return
+	}
+	if err := s.tree.Remove(v, s.locs, s.cfg.TreeDegree, s.alive); err != nil {
+		// Repair is best-effort: an unrepairable orphan keeps its old
+		// (dead) parent and simply stops receiving updates.
+		s.alive[v] = false
+		return
+	}
+}
+
+// schedulePublications sets the provider's version at each publication time
+// and triggers method-specific dissemination.
+func (s *simulation) schedulePublications() {
+	for _, u := range s.cfg.Updates {
+		v := u.Snapshot
+		at := s.publishAt[v]
+		s.eng.ScheduleAt(at, func(*sim.Engine) { //nolint:errcheck // at >= 0 by construction
+			provider := s.nodes[0]
+			s.setVersion(provider, v)
+			switch {
+			case s.cfg.Infra == consistency.InfraBroadcast:
+				s.broadcastUpdate()
+			case s.cfg.Method == consistency.MethodLease:
+				s.pushToLeaseholders()
+			case s.cfg.Method == consistency.MethodRegime:
+				s.regimePublish()
+			case s.cfg.Method == consistency.MethodPush:
+				s.pushToChildren(0)
+			case s.cfg.Infra == consistency.InfraHybrid:
+				// Push to supernode children; cluster-internal
+				// dissemination is the configured method, driven by
+				// each supernode when its content arrives.
+				s.pushToSupernodeChildren(0)
+				s.afterSourceUpdate(provider)
+			case s.cfg.Method == consistency.MethodInvalidation:
+				s.invalidateChildren(0)
+			case s.cfg.Method == consistency.MethodSelfAdaptive:
+				s.notifySubscribers(provider)
+			}
+		})
+	}
+}
+
+// afterSourceUpdate handles method-specific follow-ups when an update source
+// (provider in unicast, supernode in hybrid) takes a new version.
+func (s *simulation) afterSourceUpdate(nd *node) {
+	switch s.cfg.Method {
+	case consistency.MethodInvalidation:
+		s.invalidateChildren(nd.idx)
+	case consistency.MethodSelfAdaptive:
+		s.notifySubscribers(nd)
+	}
+}
+
+// pushToChildren forwards the sender's current version to all tree children
+// as update messages; receivers forward recursively (multicast) or are
+// leaves (unicast).
+func (s *simulation) pushToChildren(from int) {
+	v := s.nodes[from].version
+	for _, c := range s.tree.Children(from) {
+		child := c
+		arrival := s.send(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(arrival, func() {
+			nd := s.nodes[child]
+			if nd.down || v <= nd.version {
+				return
+			}
+			s.setVersion(nd, v)
+			s.pushToChildren(child)
+		})
+	}
+}
+
+// pushToSupernodeChildren pushes only to children that are supernodes (the
+// hybrid provider/supernode relay path).
+func (s *simulation) pushToSupernodeChildren(from int) {
+	v := s.nodes[from].version
+	for _, c := range s.tree.Children(from) {
+		child := c
+		if !s.nodes[child].isSupernode {
+			continue
+		}
+		arrival := s.send(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
+		s.at(arrival, func() {
+			nd := s.nodes[child]
+			if nd.down || v <= nd.version {
+				return
+			}
+			s.setVersion(nd, v)
+			s.pushToSupernodeChildren(child)
+			// The supernode is the cluster's update source: run the
+			// cluster-internal method's reaction.
+			s.afterSourceUpdate(nd)
+		})
+	}
+}
+
+// invalidateChildren sends invalidation notices down the tree (light
+// messages); an invalid node answers its children's fetches by first
+// fetching from its own parent.
+func (s *simulation) invalidateChildren(from int) {
+	for _, c := range s.tree.Children(from) {
+		child := c
+		if s.cfg.Infra == consistency.InfraHybrid && s.nodes[child].isSupernode {
+			continue // supernodes receive pushed content instead
+		}
+		arrival := s.send(from, child, s.cfg.LightSizeKB, netmodel.ClassLight)
+		s.at(arrival, func() {
+			nd := s.nodes[child]
+			if nd.down {
+				return
+			}
+			nd.valid = false
+			s.invalidateChildren(child)
+		})
+	}
+}
+
+// notifySubscribers sends one aggregated invalidation notice to each
+// self-adaptive subscriber that has not been notified since its switch.
+// Iteration is in sorted order: send order feeds the uplink queue, so map
+// order would leak nondeterminism into arrival times.
+func (s *simulation) notifySubscribers(src *node) {
+	for _, sub := range sortedKeys(src.subscribers) {
+		if src.subscribers[sub] {
+			continue
+		}
+		src.subscribers[sub] = true
+		child := sub
+		arrival := s.send(src.idx, child, s.cfg.LightSizeKB, netmodel.ClassLight)
+		s.at(arrival, func() {
+			nd := s.nodes[child]
+			if nd.down {
+				return
+			}
+			nd.valid = false
+			if nd.auto != nil {
+				nd.auto.OnInvalidation()
+			}
+		})
+	}
+}
+
+// at schedules f at an absolute time, tolerating the horizon cutoff.
+func (s *simulation) at(t time.Duration, f func()) {
+	s.eng.ScheduleAt(t, func(*sim.Engine) { f() }) //nolint:errcheck // t >= now by construction
+}
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// send sequences.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

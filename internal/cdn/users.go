@@ -1,0 +1,117 @@
+package cdn
+
+import (
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/dns"
+)
+
+// scheduleUsers creates the end-users attached to each server and their
+// periodic visit loops. Users start at random offsets in [0, UserStartMax]
+// as in the paper's Section 4 setup. Under DNS routing each user owns a
+// local resolver; otherwise it is pinned to its home server (or switches
+// randomly per visit in the Figure 24 scenario).
+func (s *simulation) scheduleUsers() {
+	for si := range s.topo.Servers {
+		for ui := range s.topo.Users[si] {
+			u := &user{idx: len(s.users), homeSrv: si + 1, lastServer: -1}
+			if s.cfg.UseDNSRouting {
+				resolver, err := dns.NewResolver(s.auth, s.topo.Users[si][ui].Loc, s.cfg.ResolverTTL)
+				if err == nil {
+					u.resolver = resolver
+				}
+			}
+			s.users = append(s.users, u)
+			offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.UserStartMax)))
+			s.at(offset, func() { s.visit(u) })
+		}
+	}
+}
+
+// visit performs one end-user request and reschedules the next.
+func (s *simulation) visit(u *user) {
+	target := s.routeVisit(u)
+	nd := s.nodes[target]
+
+	switch {
+	case nd.down:
+		// The server is dead: the request fails. A DNS-routed user will
+		// eventually re-resolve; a pinned user keeps failing, matching
+		// the paper's observation that cached IPs of failed servers keep
+		// attracting requests (Section 3.4.5).
+	case nd.auto != nil && nd.auto.OnVisit():
+		// First visit after an invalidation under the self-adaptive
+		// method: the server polls, switches back to TTL, and the user
+		// receives the fresh content when it lands.
+		s.selfAdaptiveVisitPoll(target, func() {
+			s.observe(u, s.nodes[target].version)
+		})
+	case s.cfg.Method == consistency.MethodInvalidation && !nd.valid:
+		// Invalidation: the visit triggers the fetch; the user waits
+		// for the refreshed content.
+		s.triggerFetch(target, func() {
+			s.observe(u, s.nodes[target].version)
+		})
+	case s.cfg.Method == consistency.MethodRegime:
+		if nd.rc != nil {
+			nd.rc.ObserveVisit(s.eng.Now())
+		}
+		if !nd.valid {
+			s.triggerFetch(target, func() {
+				s.observe(u, s.nodes[target].version)
+			})
+		} else {
+			s.observe(u, nd.version)
+		}
+	case s.cfg.Method == consistency.MethodLease && !s.leaseValid(target):
+		// Cooperative lease expired: the visit renews it, and the user
+		// receives the refreshed content with the new lease.
+		s.renewLease(target, func() {
+			s.observe(u, s.nodes[target].version)
+		})
+	default:
+		s.observe(u, nd.version)
+	}
+
+	s.at(s.eng.Now()+s.cfg.UserTTL, func() { s.visit(u) })
+}
+
+// routeVisit picks the serving server for this visit.
+func (s *simulation) routeVisit(u *user) int {
+	switch {
+	case u.resolver != nil:
+		target, _ := u.resolver.Lookup(s.eng.Now())
+		s.dnsVisits++
+		if u.lastServer >= 0 && target != u.lastServer {
+			s.dnsRedirects++
+		}
+		u.lastServer = target
+		return target
+	case s.cfg.UserSwitchEveryVisit && len(s.nodes) > 2:
+		return 1 + s.eng.Rand().Intn(len(s.nodes)-1)
+	default:
+		return u.homeSrv
+	}
+}
+
+// observe records what the user saw: catch-up delays for newly seen updates
+// and the self-inconsistency counter (content older than previously seen,
+// the Figure 24 metric).
+func (s *simulation) observe(u *user, v int) {
+	u.observations++
+	if v < u.maxSeen {
+		u.inconsistent++
+		return
+	}
+	if v > u.maxSeen {
+		now := s.eng.Now()
+		for id := u.maxSeen + 1; id <= v && id < len(s.publishAt); id++ {
+			if at := s.publishAt[id]; at > 0 && now >= at {
+				u.catchupSum += (now - at).Seconds()
+				u.catchupN++
+			}
+		}
+		u.maxSeen = v
+	}
+}

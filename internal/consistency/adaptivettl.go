@@ -1,0 +1,99 @@
+package consistency
+
+import (
+	"fmt"
+	"time"
+)
+
+// AdaptiveTTL is the related-work baseline ([6], [22], [24]): it predicts
+// the next update gap from an exponentially weighted moving average of
+// observed gaps and polls at a fraction of that prediction. The paper
+// argues (Section 5.1) that it mispredicts when update behaviour changes
+// abruptly — exactly the live-game pattern — which the ablation benchmark
+// quantifies against the self-adaptive method.
+type AdaptiveTTL struct {
+	alpha      float64 // EWMA weight for the newest gap
+	factor     float64 // poll interval as a fraction of the predicted gap
+	minTTL     time.Duration
+	maxTTL     time.Duration
+	ewma       time.Duration
+	lastUpdate time.Duration
+	seen       bool
+}
+
+// AdaptiveTTLConfig tunes the estimator; zero fields take defaults.
+type AdaptiveTTLConfig struct {
+	Alpha  float64       // default 0.3
+	Factor float64       // default 0.5
+	MinTTL time.Duration // default 10 s
+	MaxTTL time.Duration // default 10 min
+}
+
+// NewAdaptiveTTL validates the configuration and returns an estimator
+// primed with an initial TTL guess equal to MinTTL.
+func NewAdaptiveTTL(cfg AdaptiveTTLConfig) (*AdaptiveTTL, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.Factor == 0 {
+		cfg.Factor = 0.5
+	}
+	if cfg.MinTTL == 0 {
+		cfg.MinTTL = 10 * time.Second
+	}
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 10 * time.Minute
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("consistency: alpha %v outside (0,1]", cfg.Alpha)
+	}
+	if cfg.Factor <= 0 {
+		return nil, fmt.Errorf("consistency: non-positive factor %v", cfg.Factor)
+	}
+	if cfg.MinTTL <= 0 || cfg.MaxTTL < cfg.MinTTL {
+		return nil, fmt.Errorf("consistency: bad TTL bounds [%v,%v]", cfg.MinTTL, cfg.MaxTTL)
+	}
+	return &AdaptiveTTL{
+		alpha:  cfg.Alpha,
+		factor: cfg.Factor,
+		minTTL: cfg.MinTTL,
+		maxTTL: cfg.MaxTTL,
+		ewma:   cfg.MinTTL,
+	}, nil
+}
+
+// ObserveUpdate records that a poll at time now found new content. The gap
+// since the previous observed update feeds the EWMA.
+func (a *AdaptiveTTL) ObserveUpdate(now time.Duration) {
+	if a.seen {
+		gap := now - a.lastUpdate
+		if gap > 0 {
+			a.ewma = time.Duration(a.alpha*float64(gap) + (1-a.alpha)*float64(a.ewma))
+		}
+	}
+	a.seen = true
+	a.lastUpdate = now
+}
+
+// ObserveMiss records a poll that found no update; the estimator backs off
+// by growing its prediction (the silent-period behaviour the paper
+// criticizes: after a long silence the prediction is long, so the next
+// burst of updates is polled too slowly).
+func (a *AdaptiveTTL) ObserveMiss() {
+	a.ewma = time.Duration(float64(a.ewma) * 1.5)
+	if a.ewma > a.maxTTL {
+		a.ewma = a.maxTTL
+	}
+}
+
+// NextTTL returns the interval until the next poll.
+func (a *AdaptiveTTL) NextTTL() time.Duration {
+	ttl := time.Duration(a.factor * float64(a.ewma))
+	if ttl < a.minTTL {
+		ttl = a.minTTL
+	}
+	if ttl > a.maxTTL {
+		ttl = a.maxTTL
+	}
+	return ttl
+}

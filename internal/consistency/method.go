@@ -1,0 +1,108 @@
+// Package consistency defines the update methods the paper evaluates — TTL,
+// Push, server-based Invalidation (Section 1), the paper's self-adaptive
+// TTL/Invalidation switch (Section 5.1, Algorithm 1) — plus the adaptive-TTL
+// estimator from the related work ([6], [22], [24]) used as an ablation
+// baseline. The protocol state machines here are pure and deterministic; the
+// cdn package drives them from the discrete-event simulation.
+package consistency
+
+import "fmt"
+
+// Method selects an update method.
+type Method int
+
+// The update methods under evaluation.
+const (
+	// MethodTTL is time-to-live polling: servers poll their parent every
+	// TTL and receive the current content.
+	MethodTTL Method = iota + 1
+	// MethodPush transmits every update to every replica immediately.
+	MethodPush
+	// MethodInvalidation notifies replicas that their copy is stale; a
+	// replica fetches the update on the next end-user visit.
+	MethodInvalidation
+	// MethodSelfAdaptive switches between TTL (frequent updates) and
+	// Invalidation (silence) per Algorithm 1.
+	MethodSelfAdaptive
+	// MethodAdaptiveTTL predicts the next update gap from history and
+	// polls accordingly (related-work baseline).
+	MethodAdaptiveTTL
+	// MethodLease implements cooperative leases (related work [13],
+	// Ninan et al.): the provider pushes updates to servers holding an
+	// unexpired lease; a server with an expired lease renews it on the
+	// next end-user visit, fetching the current content along the way.
+	MethodLease
+	// MethodRegime is the paper's future-work direction (Sections 4.6
+	// and 6): each server probes its visit and update frequency and
+	// switches between Push, Invalidation, and TTL regimes via a
+	// RegimeController.
+	MethodRegime
+)
+
+// String returns the method name as used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case MethodTTL:
+		return "TTL"
+	case MethodPush:
+		return "Push"
+	case MethodInvalidation:
+		return "Invalidation"
+	case MethodSelfAdaptive:
+		return "Self"
+	case MethodAdaptiveTTL:
+		return "AdaptiveTTL"
+	case MethodLease:
+		return "Lease"
+	case MethodRegime:
+		return "Regime"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined method.
+func (m Method) Valid() bool {
+	return m >= MethodTTL && m <= MethodRegime
+}
+
+// Infra selects an update infrastructure (Section 4 and 5.2).
+type Infra int
+
+// The infrastructures under evaluation.
+const (
+	// InfraUnicast connects the provider directly to every server.
+	InfraUnicast Infra = iota + 1
+	// InfraMulticast is the proximity-aware d-ary multicast tree.
+	InfraMulticast
+	// InfraHybrid pushes over a k-ary supernode tree and runs the
+	// configured method inside each cluster (Section 5.2). Combined with
+	// MethodSelfAdaptive this is the paper's HAT system.
+	InfraHybrid
+	// InfraBroadcast floods updates within proximity clusters: the
+	// provider seeds each cluster and every first-time receiver re-sends
+	// to all cluster peers. It is the paper's taxonomy class (ii), kept
+	// for completeness: consistency is Push-fast but the message count is
+	// quadratic in cluster size (Section 1: "an overwhelming number of
+	// update messages"). Only MethodPush is meaningful on it.
+	InfraBroadcast
+)
+
+// String returns the infrastructure name.
+func (i Infra) String() string {
+	switch i {
+	case InfraUnicast:
+		return "Unicast"
+	case InfraMulticast:
+		return "Multicast"
+	case InfraHybrid:
+		return "Hybrid"
+	case InfraBroadcast:
+		return "Broadcast"
+	default:
+		return fmt.Sprintf("Infra(%d)", int(i))
+	}
+}
+
+// Valid reports whether i is a defined infrastructure.
+func (i Infra) Valid() bool { return i >= InfraUnicast && i <= InfraBroadcast }

@@ -1,0 +1,238 @@
+// Package core is the library facade: it names the consistency-maintenance
+// systems the paper compares (Section 5.3), provides a functional-options
+// runner over the cdn simulation, and packages the paper's proposal — HAT,
+// the Hybrid and self-AdapTive update system (Section 5) — as a first-class
+// configuration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/workload"
+)
+
+// System is one consistency-maintenance system under test: an update method
+// on an update infrastructure.
+type System struct {
+	// Name is the label the paper's figures use.
+	Name   string
+	Method consistency.Method
+	Infra  consistency.Infra
+}
+
+// The six systems of the paper's Section 5.3 comparison.
+var (
+	// SystemPush pushes every update over unicast.
+	SystemPush = System{Name: "Push", Method: consistency.MethodPush, Infra: consistency.InfraUnicast}
+	// SystemInvalidation invalidates over unicast, fetch on visit.
+	SystemInvalidation = System{Name: "Invalidation", Method: consistency.MethodInvalidation, Infra: consistency.InfraUnicast}
+	// SystemTTL polls the provider over unicast (what the measured CDN does).
+	SystemTTL = System{Name: "TTL", Method: consistency.MethodTTL, Infra: consistency.InfraUnicast}
+	// SystemSelf is the self-adaptive method (Algorithm 1) over unicast.
+	SystemSelf = System{Name: "Self", Method: consistency.MethodSelfAdaptive, Infra: consistency.InfraUnicast}
+	// SystemHybrid is the hybrid infrastructure with plain TTL inside
+	// clusters.
+	SystemHybrid = System{Name: "Hybrid", Method: consistency.MethodTTL, Infra: consistency.InfraHybrid}
+	// SystemHAT is the paper's proposal: hybrid infrastructure plus the
+	// self-adaptive method inside clusters.
+	SystemHAT = System{Name: "HAT", Method: consistency.MethodSelfAdaptive, Infra: consistency.InfraHybrid}
+)
+
+// Systems returns the Section 5.3 comparison set in the paper's order.
+func Systems() []System {
+	return []System{SystemPush, SystemInvalidation, SystemTTL, SystemSelf, SystemHybrid, SystemHAT}
+}
+
+// SystemByName resolves a figure label ("Push", "HAT", ...).
+func SystemByName(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("core: unknown system %q", name)
+}
+
+// Option customizes an experiment run.
+type Option func(*cdn.Config)
+
+// WithServers sets the content-server count (paper Section 4: 170).
+func WithServers(n int) Option {
+	return func(c *cdn.Config) { c.Topology.Servers = n }
+}
+
+// WithUsersPerServer sets the simulated end-users per server (paper: 5).
+func WithUsersPerServer(n int) Option {
+	return func(c *cdn.Config) { c.Topology.UsersPerServer = n }
+}
+
+// WithServerTTL sets the content servers' poll period.
+func WithServerTTL(d time.Duration) Option {
+	return func(c *cdn.Config) { c.ServerTTL = d }
+}
+
+// WithUserTTL sets the end-users' visit period.
+func WithUserTTL(d time.Duration) Option {
+	return func(c *cdn.Config) { c.UserTTL = d }
+}
+
+// WithUpdateSizeKB sets the update payload size.
+func WithUpdateSizeKB(kb float64) Option {
+	return func(c *cdn.Config) { c.UpdateSizeKB = kb }
+}
+
+// WithUpdates replaces the publication schedule.
+func WithUpdates(updates []workload.Update) Option {
+	return func(c *cdn.Config) { c.Updates = updates }
+}
+
+// WithGame draws the publication schedule from a game config using the
+// run's seed.
+func WithGame(game workload.GameConfig) Option {
+	return func(c *cdn.Config) {
+		updates, err := workload.Schedule(game, c.Seed)
+		if err == nil {
+			c.Updates = updates
+		}
+	}
+}
+
+// WithSeed sets the deterministic seed.
+func WithSeed(seed int64) Option {
+	return func(c *cdn.Config) {
+		c.Seed = seed
+		c.Topology.Seed = seed
+	}
+}
+
+// WithClusters sets the hybrid cluster count (paper: 20).
+func WithClusters(n int) Option {
+	return func(c *cdn.Config) { c.Clusters = n }
+}
+
+// WithTreeDegree sets the multicast arity (paper: 2).
+func WithTreeDegree(d int) Option {
+	return func(c *cdn.Config) { c.TreeDegree = d }
+}
+
+// WithSupernodeDegree sets the hybrid supernode tree arity (paper: 4).
+func WithSupernodeDegree(d int) Option {
+	return func(c *cdn.Config) { c.SupernodeDegree = d }
+}
+
+// WithNetConfig overrides the network model.
+func WithNetConfig(nc netmodel.Config) Option {
+	return func(c *cdn.Config) { c.Net = nc }
+}
+
+// WithUserSwitching makes every visit hit a random server (Figure 24).
+func WithUserSwitching() Option {
+	return func(c *cdn.Config) { c.UserSwitchEveryVisit = true }
+}
+
+// WithTopology supplies a prebuilt topology shared across runs, keeping the
+// comparison matrix apples-to-apples.
+func WithTopology(t *topology.Topology) Option {
+	return func(c *cdn.Config) { c.Topo = t }
+}
+
+// WithDNSRouting routes visits through the modeled DNS plane (local
+// resolver caches + authoritative nearest-k load balancing) with the given
+// resolver cache TTL.
+func WithDNSRouting(resolverTTL time.Duration) Option {
+	return func(c *cdn.Config) {
+		c.UseDNSRouting = true
+		c.ResolverTTL = resolverTTL
+	}
+}
+
+// WithFailures crash-stops n random servers mid-run; repair controls
+// whether the multicast tree re-attaches orphaned subtrees.
+func WithFailures(n int, repair bool) Option {
+	return func(c *cdn.Config) {
+		c.FailServers = n
+		c.RepairTree = repair
+	}
+}
+
+// WithLeaseDuration sets the cooperative-lease lifetime for MethodLease.
+func WithLeaseDuration(d time.Duration) Option {
+	return func(c *cdn.Config) { c.LeaseDuration = d }
+}
+
+// defaultConfig mirrors the paper's Section 4 setup: 170 servers, 5 users
+// each, provider in Atlanta, 1 KB packets, end-users polling every 10 s.
+func defaultConfig(sys System) cdn.Config {
+	return cdn.Config{
+		Method:   sys.Method,
+		Infra:    sys.Infra,
+		Topology: topology.Config{Servers: 170, UsersPerServer: 5, Seed: 1},
+		Seed:     1,
+	}
+}
+
+// Run executes one system with the given options.
+func Run(sys System, opts ...Option) (*cdn.Result, error) {
+	cfg := defaultConfig(sys)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	res, err := cdn.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", sys.Name, err)
+	}
+	return res, nil
+}
+
+// RunHAT runs the paper's proposed system.
+func RunHAT(opts ...Option) (*cdn.Result, error) {
+	return Run(SystemHAT, opts...)
+}
+
+// Comparison holds one system's result in a matrix run.
+type Comparison struct {
+	System System
+	Result *cdn.Result
+}
+
+// RunAll executes every Section 5.3 system over a shared topology and
+// update schedule so the results are directly comparable.
+func RunAll(opts ...Option) ([]Comparison, error) {
+	// Materialize the shared inputs once.
+	base := defaultConfig(SystemTTL)
+	for _, opt := range opts {
+		opt(&base)
+	}
+	topo := base.Topo
+	if topo == nil {
+		var err error
+		topo, err = topology.Generate(base.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	updates := base.Updates
+	if len(updates) == 0 {
+		var err error
+		updates, err = workload.Schedule(workload.DefaultGame(), base.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	out := make([]Comparison, 0, len(Systems()))
+	for _, sys := range Systems() {
+		res, err := Run(sys, append(append([]Option(nil), opts...),
+			WithTopology(topo), WithUpdates(updates))...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{System: sys, Result: res})
+	}
+	return out, nil
+}

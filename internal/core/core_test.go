@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/workload"
+)
+
+func quickGame() workload.GameConfig {
+	return workload.GameConfig{
+		Phases: []workload.Phase{
+			{Name: "play", Duration: 4 * time.Minute, MeanGap: 20 * time.Second},
+			{Name: "break", Duration: 3 * time.Minute, MeanGap: 0},
+			{Name: "play", Duration: 4 * time.Minute, MeanGap: 20 * time.Second},
+		},
+		SizeKB: 1,
+	}
+}
+
+func quickOpts(extra ...Option) []Option {
+	return append([]Option{
+		WithServers(30),
+		WithUsersPerServer(2),
+		WithGame(quickGame()),
+		WithSeed(3),
+		WithClusters(5),
+	}, extra...)
+}
+
+func TestSystemsMatchPaperOrder(t *testing.T) {
+	want := []string{"Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"}
+	got := Systems()
+	if len(got) != len(want) {
+		t.Fatalf("systems = %d", len(got))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Errorf("system %d = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestSystemByName(t *testing.T) {
+	s, err := SystemByName("HAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Method != consistency.MethodSelfAdaptive || s.Infra != consistency.InfraHybrid {
+		t.Errorf("HAT = %+v", s)
+	}
+	if _, err := SystemByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestRunAppliesOptions(t *testing.T) {
+	res, err := Run(SystemTTL, quickOpts(WithServerTTL(20*time.Second), WithUserTTL(15*time.Second))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerAvgInconsistency) != 30 {
+		t.Errorf("servers = %d, want 30", len(res.ServerAvgInconsistency))
+	}
+	if len(res.UserAvgInconsistency) != 60 {
+		t.Errorf("users = %d, want 60", len(res.UserAvgInconsistency))
+	}
+	// TTL 20s -> mean catch-up ~10s.
+	m := res.MeanServerInconsistency()
+	if m < 5 || m > 20 {
+		t.Errorf("mean inconsistency %.1fs, want ~10s for TTL=20s", m)
+	}
+}
+
+func TestRunHAT(t *testing.T) {
+	res, err := RunHAT(quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supernodes != 5 {
+		t.Errorf("supernodes = %d, want 5", res.Supernodes)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	if _, err := Run(System{Name: "bad"}, quickOpts()...); err == nil {
+		t.Error("invalid system accepted")
+	}
+	if _, err := Run(SystemTTL, WithServers(-1)); err == nil {
+		t.Error("negative servers accepted")
+	}
+}
+
+func TestRunAllSharedInputs(t *testing.T) {
+	comps, err := RunAll(quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 6 {
+		t.Fatalf("comparisons = %d", len(comps))
+	}
+	// Shared topology: every run reports the same server count.
+	for _, c := range comps {
+		if len(c.Result.ServerAvgInconsistency) != 30 {
+			t.Errorf("%s servers = %d", c.System.Name, len(c.Result.ServerAvgInconsistency))
+		}
+	}
+	// The headline orderings of Figures 22(a)/23 hold on the matrix.
+	byName := map[string]*Comparison{}
+	for i := range comps {
+		byName[comps[i].System.Name] = &comps[i]
+	}
+	push := byName["Push"].Result.UpdateMsgsToServers
+	ttl := byName["TTL"].Result.UpdateMsgsToServers
+	self := byName["Self"].Result.UpdateMsgsToServers
+	hat := byName["HAT"].Result.UpdateMsgsToServers
+	if !(push > ttl && ttl > hat && hat > self) {
+		t.Errorf("message ordering violated: Push=%d TTL=%d HAT=%d Self=%d", push, ttl, hat, self)
+	}
+	hatKm := byName["HAT"].Result.Accounting.ByClass[netmodel.ClassUpdate].Km
+	ttlKm := byName["TTL"].Result.Accounting.ByClass[netmodel.ClassUpdate].Km
+	if hatKm >= ttlKm {
+		t.Errorf("HAT update km %.0f not below TTL %.0f", hatKm, ttlKm)
+	}
+}
+
+func TestRunAllWithPrebuiltTopology(t *testing.T) {
+	topo, err := topology.Generate(topology.Config{Servers: 20, UsersPerServer: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := RunAll(WithTopology(topo), WithGame(quickGame()), WithSeed(4), WithClusters(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		if len(c.Result.ServerAvgInconsistency) != 20 {
+			t.Errorf("%s used wrong topology: %d servers", c.System.Name, len(c.Result.ServerAvgInconsistency))
+		}
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a, err := Run(SystemHAT, quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(SystemHAT, quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.UpdateMsgsToServers != b.UpdateMsgsToServers {
+		t.Error("identical runs diverged")
+	}
+}
+
+func TestAllOptionsApply(t *testing.T) {
+	// Exercise every option end to end on one small run.
+	res, err := Run(
+		System{Name: "Lease", Method: consistency.MethodLease, Infra: consistency.InfraUnicast},
+		quickOpts(
+			WithUpdateSizeKB(4),
+			WithLeaseDuration(45*time.Second),
+			WithNetConfig(netmodel.Config{DefaultUplinkKBps: 5000}),
+		)...,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := res.Accounting.ByClass[netmodel.ClassUpdate]
+	if up.Messages > 0 && up.KB/float64(up.Messages) != 4 {
+		t.Errorf("update size option not applied: %.1f KB/msg", up.KB/float64(up.Messages))
+	}
+
+	res, err = Run(SystemTTL, quickOpts(
+		WithDNSRouting(20*time.Second),
+		WithFailures(3, false),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DNSVisits == 0 || res.FailedServers != 3 {
+		t.Errorf("DNS/failure options not applied: visits=%d failed=%d", res.DNSVisits, res.FailedServers)
+	}
+
+	res, err = Run(SystemTTL, quickOpts(WithUserSwitching())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UserObservations == 0 {
+		t.Error("switching run had no observations")
+	}
+
+	multi, err := Run(
+		System{Name: "m", Method: consistency.MethodTTL, Infra: consistency.InfraMulticast},
+		quickOpts(WithTreeDegree(6))...,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary, err := Run(
+		System{Name: "m", Method: consistency.MethodTTL, Infra: consistency.InfraMulticast},
+		quickOpts(WithTreeDegree(2))...,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TreeDepth >= binary.TreeDepth {
+		t.Errorf("degree-6 depth %d not below degree-2 depth %d", multi.TreeDepth, binary.TreeDepth)
+	}
+
+	hat, err := RunHAT(quickOpts(WithSupernodeDegree(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hat.Supernodes != 5 {
+		t.Errorf("supernodes = %d", hat.Supernodes)
+	}
+}

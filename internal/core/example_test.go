@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/workload"
+)
+
+// Running one of the paper's named systems takes a handful of options; the
+// result carries the figures' metrics.
+func ExampleRun() {
+	game := workload.GameConfig{
+		Phases: []workload.Phase{
+			{Name: "live", Duration: 5 * time.Minute, MeanGap: 30 * time.Second},
+		},
+		SizeKB: 1,
+	}
+	res, err := core.Run(core.SystemPush,
+		core.WithServers(10),
+		core.WithUsersPerServer(1),
+		core.WithGame(game),
+		core.WithSeed(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("push staleness under 1s: %v\n", res.MeanServerInconsistency() < 1)
+	fmt.Printf("one update message per server per update: %v\n",
+		res.UpdateMsgsToServers == res.UpdateMsgsFromProvider)
+	// Output:
+	// push staleness under 1s: true
+	// one update message per server per update: true
+}
+
+func ExampleSystemByName() {
+	sys, err := core.SystemByName("HAT")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Method, "on", sys.Infra)
+	// Output:
+	// Self on Hybrid
+}

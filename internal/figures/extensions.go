@@ -1,0 +1,209 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/catalog"
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/topology"
+)
+
+// The extension studies cover what the paper discusses but does not
+// evaluate: the broadcast taxonomy class, node failures on the multicast
+// tree, cooperative leases, and the DNS request-routing plane.
+
+// ExtBroadcast quantifies why the paper dismisses broadcast (Section 1):
+// flooding matches Push's consistency at a message cost quadratic in
+// cluster size.
+func ExtBroadcast(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "ext-broadcast",
+		Title:  "broadcast (cluster flooding) vs push: consistency and message blowup",
+		Note:   "paper Section 1: broadcast cannot scale due to an overwhelming number of redundant update messages",
+		Header: []string{"system", "update_msgs", "server_mean_s"},
+	}
+	push, err := core.Run(core.SystemPush, scale.opts()...)
+	if err != nil {
+		return nil, fmt.Errorf("figures: ext-broadcast: %w", err)
+	}
+	bcast, err := core.Run(core.System{
+		Name: "Broadcast", Method: consistency.MethodPush, Infra: consistency.InfraBroadcast,
+	}, scale.opts()...)
+	if err != nil {
+		return nil, fmt.Errorf("figures: ext-broadcast: %w", err)
+	}
+	t.AddRow("Push/unicast", d0(push.UpdateMsgsToServers), f3(push.MeanServerInconsistency()))
+	t.AddRow("Push/broadcast", d0(bcast.UpdateMsgsToServers), f3(bcast.MeanServerInconsistency()))
+	t.AddRow("# msg_blowup_x", f1(float64(bcast.UpdateMsgsToServers)/float64(push.UpdateMsgsToServers)), "")
+	return t, nil
+}
+
+// ExtTreeFailure quantifies the paper's multicast criticism (Section 1):
+// node failures strand subtrees unless the structure is maintained.
+func ExtTreeFailure(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "ext-tree-failure",
+		Title:  "multicast push under server failures: repair on/off",
+		Note:   "paper Section 1: node failures break structure connectivity and lead to unsuccessful update propagation",
+		Header: []string{"repair", "failed", "live_at_final", "live", "final_frac"},
+	}
+	failures := scale.Servers / 8
+	for _, repair := range []bool{false, true} {
+		res, err := core.Run(core.System{
+			Name: "Push", Method: consistency.MethodPush, Infra: consistency.InfraMulticast,
+		}, scale.opts(core.WithFailures(failures, repair))...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-tree-failure: %w", err)
+		}
+		label := "off"
+		if repair {
+			label = "on"
+		}
+		frac := 0.0
+		if res.LiveServers > 0 {
+			frac = float64(res.LiveServersAtFinalVersion) / float64(res.LiveServers)
+		}
+		t.AddRow(label, d0(res.FailedServers), d0(res.LiveServersAtFinalVersion),
+			d0(res.LiveServers), f3(frac))
+	}
+	return t, nil
+}
+
+// ExtLease evaluates cooperative leases (related work [13]) against Push
+// and TTL in the hot and idle regimes.
+func ExtLease(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "ext-lease",
+		Title:  "cooperative leases vs Push and TTL",
+		Note:   "leases track Push while content is visited and decay to demand-driven renewals when idle",
+		Header: []string{"system", "users_per_server", "update_msgs", "server_mean_s"},
+	}
+	for _, users := range []int{scale.UsersPerServer, 0} {
+		for _, sys := range []core.System{
+			{Name: "Lease", Method: consistency.MethodLease, Infra: consistency.InfraUnicast},
+			core.SystemPush,
+			core.SystemTTL,
+		} {
+			res, err := core.Run(sys, scale.opts(
+				core.WithUsersPerServer(users),
+				core.WithLeaseDuration(60*time.Second))...)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ext-lease: %w", err)
+			}
+			t.AddRow(sys.Name, d0(users), d0(res.UpdateMsgsToServers), f3(res.MeanServerInconsistency()))
+		}
+	}
+	return t, nil
+}
+
+// ExtRegime evaluates the future-work regime controller (paper Sections 4.6
+// and 6): servers probe their visit/update ratio and switch between Push,
+// Invalidation, and TTL. Across a hot scenario (many readers, sparse
+// updates) and a cold one (few readers, dense updates) the controller
+// should approach the best single method of each.
+func ExtRegime(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "ext-regime",
+		Title:  "future-work regime controller vs fixed methods (hot and cold content)",
+		Note:   "Section 4.6: no single method wins everywhere; a self-adapting strategy can track the optimum",
+		Header: []string{"scenario", "method", "update_msgs", "server_mean_s"},
+	}
+	scenarios := []struct {
+		name    string
+		users   int
+		userTTL time.Duration
+		meanGap time.Duration
+	}{
+		{"hot", 4, 10 * time.Second, 60 * time.Second},
+		{"cold", 1, 3 * time.Minute, 5 * time.Second},
+	}
+	for _, sc := range scenarios {
+		game := workloadSingle(30*time.Minute, sc.meanGap)
+		for _, m := range []consistency.Method{
+			consistency.MethodRegime, consistency.MethodPush,
+			consistency.MethodInvalidation, consistency.MethodTTL,
+		} {
+			res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: consistency.InfraUnicast},
+				scale.opts(
+					core.WithUsersPerServer(sc.users),
+					core.WithUserTTL(sc.userTTL),
+					core.WithGame(game))...)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ext-regime: %w", err)
+			}
+			t.AddRow(sc.name, m.String(), d0(res.UpdateMsgsToServers), f3(res.MeanServerInconsistency()))
+		}
+	}
+	return t, nil
+}
+
+// ExtCatalog evaluates the multi-content fleet planner: a catalog of live
+// contents (the paper's motivating mix — live games, e-commerce, auctions,
+// news) with Zipf popularity, each assigned the cheapest modeled method
+// meeting its staleness budget, against one-size-fits-all fleets.
+func ExtCatalog(scale SimScale) (*Table, error) {
+	cat, err := catalog.Generate(catalog.GenerateConfig{
+		Contents: 24, Duration: 20 * time.Minute, Seed: scale.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures: ext-catalog: %w", err)
+	}
+	topoCfg := topology.Config{Servers: scale.Servers / 2, Seed: scale.Seed}
+	ttl := 60 * time.Second
+	plan, err := catalog.PlanCatalog(cat, topoCfg.Servers, ttl)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ext-catalog",
+		Title:  "multi-content fleet: cost-model planner vs one-size-fits-all",
+		Note:   "paper conclusion: consider varying visit frequencies and consistency requirements per customer",
+		Header: []string{"fleet", "total_KB", "total_kmKB", "mean_staleness_s", "worst_budget_miss_s"},
+	}
+	fleets := []struct {
+		name   string
+		assign func(catalog.Content) consistency.Method
+	}{
+		{"planned", func(c catalog.Content) consistency.Method { return plan[c.ID] }},
+		{"all-push", func(catalog.Content) consistency.Method { return consistency.MethodPush }},
+		{"all-ttl", func(catalog.Content) consistency.Method { return consistency.MethodTTL }},
+		{"all-invalidation", func(catalog.Content) consistency.Method { return consistency.MethodInvalidation }},
+	}
+	for _, f := range fleets {
+		res, err := catalog.RunFleet(cat, f.assign, topoCfg, ttl, scale.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-catalog %s: %w", f.name, err)
+		}
+		t.AddRow(f.name, f1(res.TotalKB), e2(res.TotalKmKB),
+			f2(res.MeanStaleness), f2(res.WorstBudgetMiss))
+	}
+	return t, nil
+}
+
+// ExtDNS runs the DNS-routed user plane (Figure 1 mechanics) and reports
+// the redirect rate and the user-observed inconsistency it induces per
+// method — the mechanism behind the paper's Section 3.3 findings.
+func ExtDNS(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "ext-dns",
+		Title:  "DNS request routing: redirect rate and induced user inconsistency",
+		Note:   "paper Section 3.3: expiring resolver entries + authoritative re-assignment redirect ~13-17% of visits onto possibly-stale replicas",
+		Header: []string{"method", "redirect_rate", "user_inconsistent_frac"},
+	}
+	for _, sys := range []core.System{core.SystemPush, core.SystemInvalidation, core.SystemTTL, core.SystemHAT} {
+		res, err := core.Run(sys, scale.opts(
+			core.WithDNSRouting(20*time.Second),
+			core.WithServerTTL(60*time.Second))...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-dns: %w", err)
+		}
+		rate := 0.0
+		if res.DNSVisits > 0 {
+			rate = float64(res.DNSRedirects) / float64(res.DNSVisits)
+		}
+		t.AddRow(sys.Name, f4(rate), f4(res.InconsistentObservationFrac()))
+	}
+	return t, nil
+}

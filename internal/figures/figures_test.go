@@ -1,0 +1,218 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *TraceEnv
+	envErr  error
+)
+
+func smallEnv(t *testing.T) *TraceEnv {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewTraceEnv(SmallTraceScale())
+	})
+	if envErr != nil {
+		t.Fatalf("NewTraceEnv: %v", envErr)
+	}
+	return envVal
+}
+
+func checkTable(t *testing.T, tab *Table, err error, wantID string) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", wantID, err)
+	}
+	if tab.ID != wantID {
+		t.Errorf("ID = %s, want %s", tab.ID, wantID)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: no rows", wantID)
+	}
+	s := tab.String()
+	if !strings.Contains(s, wantID) || !strings.Contains(s, "\t") {
+		t.Errorf("%s: String() malformed:\n%s", wantID, s)
+	}
+}
+
+func TestTraceFigures(t *testing.T) {
+	env := smallEnv(t)
+	type gen func(*TraceEnv) (*Table, error)
+	cases := []struct {
+		id string
+		fn gen
+	}{
+		{"fig03", Fig03}, {"fig04", Fig04}, {"fig05", Fig05},
+		{"fig06", Fig06}, {"fig07", Fig07}, {"fig08", Fig08},
+		{"fig09", Fig09}, {"fig10", Fig10}, {"fig11", Fig11},
+		{"fig12", Fig12}, {"tree-verdict", TreeVerdictTable},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			tab, err := c.fn(env)
+			checkTable(t, tab, err, c.id)
+		})
+	}
+}
+
+func TestTreeVerdictConcludesUnicast(t *testing.T) {
+	env := smallEnv(t)
+	tab, err := TreeVerdictTable(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range tab.Rows {
+		got[row[0]] = row[1]
+	}
+	if got["static_tree_likely"] != "false" {
+		t.Errorf("static_tree_likely = %s", got["static_tree_likely"])
+	}
+	if got["dynamic_tree_likely"] != "false" {
+		t.Errorf("dynamic_tree_likely = %s", got["dynamic_tree_likely"])
+	}
+}
+
+func TestFig06InfersTTLNear60(t *testing.T) {
+	env := smallEnv(t)
+	tab, err := Fig06(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "# inferred_ttl_s" {
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 50 || v > 75 {
+				t.Errorf("inferred TTL = %v, want ~60", v)
+			}
+			return
+		}
+	}
+	t.Error("inferred TTL row missing")
+}
+
+func TestSimFigures(t *testing.T) {
+	scale := SmallSimScale()
+	scale.Servers = 40
+	scale.UsersPerServer = 2
+	scale.Clusters = 5
+	type gen func(SimScale) (*Table, error)
+	cases := []struct {
+		id string
+		fn gen
+	}{
+		{"fig14", Fig14}, {"fig15", Fig15}, {"fig16", Fig16},
+		{"fig17", Fig17}, {"fig18", Fig18},
+		{"fig23", Fig23},
+		{"ext-broadcast", ExtBroadcast},
+		{"ext-tree-failure", ExtTreeFailure},
+		{"ext-lease", ExtLease},
+		{"ext-dns", ExtDNS},
+		{"ext-regime", ExtRegime},
+		{"ext-catalog", ExtCatalog},
+		{"ablation-queue", AblationQueue},
+		{"ablation-proximity", AblationProximity},
+		{"ablation-adaptive", AblationAdaptive},
+		{"ablation-hilbert", AblationHilbert},
+		{"ablation-depth", AblationFailure},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := c.fn(scale)
+			checkTable(t, tab, err, c.id)
+		})
+	}
+}
+
+func TestSimFiguresSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep figures are slow")
+	}
+	scale := SmallSimScale()
+	scale.Servers = 30
+	scale.UsersPerServer = 2
+	scale.Clusters = 5
+	type gen func(SimScale) (*Table, error)
+	cases := []struct {
+		id string
+		fn gen
+	}{
+		{"fig19", Fig19}, {"fig20", Fig20}, {"fig22", Fig22}, {"fig24", Fig24},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := c.fn(scale)
+			checkTable(t, tab, err, c.id)
+		})
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Note: "n", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"== x: demo ==", "# paper: n", "a\tb", "1\t2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Errorf("f1 = %s", f1(1.25))
+	}
+	if f2(3.14159) != "3.14" || f3(3.14159) != "3.142" || f4(0.5) != "0.5000" {
+		t.Error("f2/f3/f4 wrong")
+	}
+	if d0(7) != "7" {
+		t.Error("d0 wrong")
+	}
+	if !strings.Contains(e2(12345.0), "e+04") {
+		t.Errorf("e2 = %s", e2(12345.0))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "figX", Title: "demo", Note: "paper said so", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("# summary_metric", "3.14")
+	md := tab.Markdown()
+	for _, want := range []string{
+		"### figX — demo",
+		"*Paper:* paper said so",
+		"| a | b |",
+		"| 1 | 2 |",
+		"- **summary_metric**: 3.14",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableMarkdownNoSummary(t *testing.T) {
+	tab := &Table{ID: "y", Title: "t", Header: []string{"x"}}
+	tab.AddRow("v")
+	md := tab.Markdown()
+	if strings.Contains(md, "- **") {
+		t.Errorf("unexpected summary bullets:\n%s", md)
+	}
+	if strings.Contains(md, "*Paper:*") {
+		t.Errorf("unexpected note:\n%s", md)
+	}
+}

@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a table as a GitHub-flavored markdown section, the format
+// EXPERIMENTS.md records. Summary rows (first cell prefixed "#") become a
+// bullet list under the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "*Paper:* %s\n\n", t.Note)
+	}
+
+	var dataRows, summaryRows [][]string
+	for _, row := range t.Rows {
+		if len(row) > 0 && strings.HasPrefix(row[0], "#") {
+			summaryRows = append(summaryRows, row)
+		} else {
+			dataRows = append(dataRows, row)
+		}
+	}
+
+	if len(dataRows) > 0 {
+		b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+		for _, row := range dataRows {
+			cells := make([]string, len(t.Header))
+			for i := range cells {
+				if i < len(row) {
+					cells[i] = row[i]
+				}
+			}
+			b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, row := range summaryRows {
+		name := strings.TrimSpace(strings.TrimPrefix(row[0], "#"))
+		vals := make([]string, 0, len(row)-1)
+		for _, cell := range row[1:] {
+			if cell = strings.TrimSpace(cell); cell != "" {
+				vals = append(vals, cell)
+			}
+		}
+		fmt.Fprintf(&b, "- **%s**: %s\n", name, strings.Join(vals, " "))
+	}
+	if len(summaryRows) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,376 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/stats"
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/workload"
+)
+
+// SimScale sizes the Section-4/5 simulation figures.
+type SimScale struct {
+	Servers        int
+	UsersPerServer int
+	Clusters       int
+	Game           workload.GameConfig
+	Seed           int64
+	// ServerTTL used where the figure doesn't sweep it. Section 4 figures
+	// report magnitudes consistent with a 10 s server TTL; Section 5 uses
+	// 60 s.
+	ServerTTL time.Duration
+}
+
+// DefaultSimScale reproduces the paper's deployment: 170 nodes, 5 users
+// each, one trace day of 306 snapshots.
+func DefaultSimScale() SimScale {
+	return SimScale{
+		Servers:        170,
+		UsersPerServer: 5,
+		Clusters:       20,
+		Game:           workload.DefaultGame(),
+		Seed:           1,
+		ServerTTL:      10 * time.Second,
+	}
+}
+
+// SmallSimScale keeps benches fast while preserving orderings.
+func SmallSimScale() SimScale {
+	var phases []workload.Phase
+	for i := 0; i < 3; i++ {
+		phases = append(phases,
+			workload.Phase{Name: "play", Duration: 5 * time.Minute, MeanGap: 15 * time.Second},
+			workload.Phase{Name: "break", Duration: 4 * time.Minute, MeanGap: 0},
+		)
+	}
+	return SimScale{
+		Servers:        60,
+		UsersPerServer: 2,
+		Clusters:       8,
+		Game:           workload.GameConfig{Phases: phases, SizeKB: 1},
+		Seed:           1,
+		ServerTTL:      10 * time.Second,
+	}
+}
+
+func (s SimScale) opts(extra ...core.Option) []core.Option {
+	base := []core.Option{
+		core.WithServers(s.Servers),
+		core.WithUsersPerServer(s.UsersPerServer),
+		core.WithClusters(s.Clusters),
+		core.WithSeed(s.Seed),
+		core.WithGame(s.Game),
+		core.WithServerTTL(s.ServerTTL),
+	}
+	return append(base, extra...)
+}
+
+// section4Systems are the three methods Figure 14/15 compare.
+var section4Systems = []struct {
+	name   string
+	method consistency.Method
+}{
+	{"Push", consistency.MethodPush},
+	{"Invalidation", consistency.MethodInvalidation},
+	{"TTL", consistency.MethodTTL},
+}
+
+func methodInfraTable(id, title, note string, scale SimScale, infra consistency.Infra) (*Table, error) {
+	t := &Table{
+		ID: id, Title: title, Note: note,
+		Header: []string{"method", "server_mean_s", "server_p5/med/p95", "user_mean_s", "user_p5/med/p95"},
+	}
+	for _, sys := range section4Systems {
+		res, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: infra}, scale.opts()...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", id, err)
+		}
+		ss, _ := stats.Summarize(res.ServerAvgInconsistency)
+		us, _ := stats.Summarize(res.UserAvgInconsistency)
+		t.AddRow(sys.name,
+			f3(res.MeanServerInconsistency()),
+			fmt.Sprintf("%.2f/%.2f/%.2f", ss.P5, ss.Median, ss.P95),
+			f3(res.MeanUserInconsistency()),
+			fmt.Sprintf("%.2f/%.2f/%.2f", us.P5, us.Median, us.P95))
+	}
+	return t, nil
+}
+
+// Fig14 regenerates Figure 14: per-server and per-user inconsistency in the
+// unicast infrastructure.
+func Fig14(scale SimScale) (*Table, error) {
+	return methodInfraTable("fig14",
+		"unicast: server and user inconsistency per method",
+		"paper: Push < Invalidation < TTL; TTL mean ~TTL/2",
+		scale, consistency.InfraUnicast)
+}
+
+// Fig15 regenerates Figure 15: the same comparison in the binary multicast
+// tree, where TTL amplifies with depth.
+func Fig15(scale SimScale) (*Table, error) {
+	return methodInfraTable("fig15",
+		"multicast (binary tree): server and user inconsistency per method",
+		"paper: same ordering; lower tree layers roughly multiply TTL inconsistency by depth",
+		scale, consistency.InfraMulticast)
+}
+
+// Fig16 regenerates Figure 16: total consistency-maintenance traffic cost
+// (km*KB) per method and infrastructure.
+func Fig16(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "consistency maintenance traffic cost (km*KB)",
+		Note:   "multicast saves >= 2.8e7 km*KB over unicast for every method; Push < Invalidation < TTL",
+		Header: []string{"method", "unicast_kmKB", "multicast_kmKB", "saving_kmKB"},
+	}
+	for _, sys := range section4Systems {
+		uni, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: consistency.InfraUnicast}, scale.opts()...)
+		if err != nil {
+			return nil, err
+		}
+		multi, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: consistency.InfraMulticast}, scale.opts()...)
+		if err != nil {
+			return nil, err
+		}
+		u := uni.Accounting.Total().KmKB
+		m := multi.Accounting.Total().KmKB
+		t.AddRow(sys.name, e2(u), e2(m), e2(u-m))
+	}
+	return t, nil
+}
+
+// Fig17 regenerates Figure 17: TTL traffic cost vs the content servers' TTL.
+func Fig17(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "TTL-method traffic cost vs content-server TTL",
+		Note:   "cost decreases with TTL in both infrastructures",
+		Header: []string{"ttl_s", "unicast_kmKB", "multicast_kmKB"},
+	}
+	for ttl := 10; ttl <= 60; ttl += 10 {
+		row := []string{d0(ttl)}
+		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+			res, err := core.Run(core.System{Name: "TTL", Method: consistency.MethodTTL, Infra: infra},
+				scale.opts(core.WithServerTTL(time.Duration(ttl)*time.Second))...)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e2(res.Accounting.Total().KmKB))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig18 regenerates Figure 18: Invalidation vs the end-user TTL.
+func Fig18(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Invalidation: inconsistency and cost vs end-user TTL",
+		Note:   "inconsistency grows and traffic cost falls as end-user TTL grows, both infrastructures",
+		Header: []string{"user_ttl_s", "infra", "server_p5/med/p95_s", "kmKB"},
+	}
+	for _, userTTL := range []int{10, 30, 60, 90, 120} {
+		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+			res, err := core.Run(core.System{Name: "Invalidation", Method: consistency.MethodInvalidation, Infra: infra},
+				scale.opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
+			if err != nil {
+				return nil, err
+			}
+			s, _ := stats.Summarize(res.ServerAvgInconsistency)
+			t.AddRow(d0(userTTL), infra.String(),
+				fmt.Sprintf("%.2f/%.2f/%.2f", s.P5, s.Median, s.P95),
+				e2(res.Accounting.Total().KmKB))
+		}
+	}
+	return t, nil
+}
+
+// Fig19 regenerates Figure 19: scalability vs update packet size. A modest
+// uplink makes the provider's output-port serialization visible.
+func Fig19(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig19",
+		Title:  "server inconsistency vs update package size",
+		Note:   "growth rate Push > Invalidation > TTL in unicast; multicast grows far slower",
+		Header: []string{"size_kb", "infra", "push_s", "invalidation_s", "ttl_s"},
+	}
+	net := netmodel.Config{DefaultUplinkKBps: 2000}
+	for _, size := range []float64{1, 100, 500} {
+		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+			row := []string{f1(size), infra.String()}
+			for _, sys := range []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL} {
+				res, err := core.Run(core.System{Name: sys.String(), Method: sys, Infra: infra},
+					scale.opts(core.WithUpdateSizeKB(size), core.WithNetConfig(net))...)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f3(res.MeanServerInconsistency()))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Fig20 regenerates Figure 20: scalability vs network size.
+func Fig20(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig20",
+		Title:  "server inconsistency vs network size",
+		Note:   "in unicast TTL stays flat while Push/Invalidation grow; in multicast TTL grows fastest (tree depth)",
+		Header: []string{"servers", "infra", "push_s", "invalidation_s", "ttl_s"},
+	}
+	base := scale.Servers
+	for mult := 1; mult <= 5; mult++ {
+		n := base * mult
+		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+			row := []string{d0(n), infra.String()}
+			for _, m := range []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL} {
+				res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: infra},
+					scale.opts(core.WithServers(n),
+						core.WithNetConfig(netmodel.Config{DefaultUplinkKBps: 2000}))...)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f3(res.MeanServerInconsistency()))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// section5 scales to the paper's Section 5.3 deployment: each PlanetLab
+// node simulates 5 content servers (850 total), 20 clusters, content-server
+// TTL 60 s. At this cluster size the self-adaptive savings outweigh the
+// supernode push overhead, producing the paper's message ordering.
+func (s SimScale) section5() SimScale {
+	out := s
+	out.Servers = s.Servers * 5
+	out.Clusters = 20
+	out.ServerTTL = 60 * time.Second
+	return out
+}
+
+// section5Opts applies the Section 5.3 defaults.
+func (s SimScale) section5Opts(extra ...core.Option) []core.Option {
+	s5 := s.section5()
+	return append(s5.opts(), extra...)
+}
+
+// Fig22 regenerates Figure 22: update-message counts across the six
+// systems, (a) to servers vs end-user TTL, (b) from the provider vs
+// content-server TTL.
+func Fig22(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig22",
+		Title:  "update messages: (a) to servers vs end-user TTL, (b) from provider vs server TTL",
+		Note:   "Push > Invalidation > Hybrid ~ TTL > HAT > Self; provider load lightest for Hybrid/HAT",
+		Header: []string{"series", "x_s", "Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"},
+	}
+	for _, userTTL := range []int{10, 30, 60} {
+		row := []string{"22a_msgs_to_servers", d0(userTTL)}
+		for _, sys := range core.Systems() {
+			res, err := core.Run(sys, scale.section5Opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d0(res.UpdateMsgsToServers))
+		}
+		t.AddRow(row...)
+	}
+	for _, srvTTL := range []int{20, 40, 60} {
+		row := []string{"22b_msgs_from_provider", d0(srvTTL)}
+		for _, sys := range core.Systems() {
+			res, err := core.Run(sys, scale.section5Opts(core.WithServerTTL(time.Duration(srvTTL)*time.Second))...)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d0(res.UpdateMsgsFromProvider))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig23 regenerates Figure 23: network load in km, split into update and
+// light messages, for the six systems.
+func Fig23(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig23",
+		Title:  "consistency maintenance network load (km)",
+		Note:   "HAT carries the lightest total load; TTL-family methods add light-message load for polling",
+		Header: []string{"system", "update_km", "light_km", "total_km"},
+	}
+	for _, sys := range core.Systems() {
+		res, err := core.Run(sys, scale.section5Opts()...)
+		if err != nil {
+			return nil, err
+		}
+		up := res.Accounting.ByClass[netmodel.ClassUpdate].Km
+		light := res.Accounting.ByClass[netmodel.ClassLight].Km
+		t.AddRow(sys.Name, e2(up), e2(light), e2(up+light))
+	}
+	return t, nil
+}
+
+// Fig24 regenerates Figure 24: user-observed inconsistency with server
+// switching on every visit.
+func Fig24(scale SimScale) (*Table, error) {
+	t := &Table{
+		ID:     "fig24",
+		Title:  "% inconsistency observations vs end-user TTL (switch server every visit)",
+		Note:   "TTL ~ Hybrid > HAT > Self > Push ~ Invalidation ~ 0; decreasing in end-user TTL",
+		Header: []string{"user_ttl_s", "Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"},
+	}
+	for _, userTTL := range []int{10, 30, 60} {
+		row := []string{d0(userTTL)}
+		for _, sys := range core.Systems() {
+			res, err := core.Run(sys, scale.section5Opts(
+				core.WithUserTTL(time.Duration(userTTL)*time.Second),
+				core.WithUserSwitching())...)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(res.InconsistentObservationFrac()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// sharedTopology builds one topology for ablations that need to compare
+// tree variants on identical node sets.
+func sharedTopology(scale SimScale) (*topology.Topology, error) {
+	return topology.Generate(topology.Config{
+		Servers:        scale.Servers,
+		UsersPerServer: scale.UsersPerServer,
+		Seed:           scale.Seed,
+	})
+}
+
+// runWith is a convenience for the cdn-level ablations.
+func runWith(cfg cdn.Config) (*cdn.Result, error) { return cdn.Run(cfg) }
+
+// workloadSingle builds a single-phase update schedule config.
+func workloadSingle(duration, meanGap time.Duration) workload.GameConfig {
+	return workload.GameConfig{
+		Phases: []workload.Phase{{Name: "live", Duration: duration, MeanGap: meanGap}},
+		SizeKB: 1,
+	}
+}
+
+// topologyConfig translates a SimScale into a topology.Config.
+func topologyConfig(scale SimScale) topology.Config {
+	return topology.Config{
+		Servers:        scale.Servers,
+		UsersPerServer: scale.UsersPerServer,
+		Seed:           scale.Seed,
+	}
+}

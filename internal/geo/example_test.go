@@ -1,0 +1,29 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"cdnconsistency/internal/geo"
+)
+
+func ExampleDistanceKm() {
+	atlanta := geo.Point{Lat: 33.749, Lon: -84.388}
+	london := geo.Point{Lat: 51.5074, Lon: -0.1278}
+	fmt.Printf("%.0f km\n", geo.DistanceKm(atlanta, london))
+	// Output:
+	// 6770 km
+}
+
+func ExampleHilbert_PointIndex() {
+	h, err := geo.NewHilbert(4)
+	if err != nil {
+		panic(err)
+	}
+	// Nearby points land close on the curve; this is what the supernode
+	// clustering of the paper's Section 5.2 exploits.
+	a, _ := h.PointIndex(geo.Point{Lat: 40.0, Lon: -74.0})
+	b, _ := h.PointIndex(geo.Point{Lat: 41.0, Lon: -73.0})
+	fmt.Println(a == b)
+	// Output:
+	// true
+}

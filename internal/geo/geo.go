@@ -1,0 +1,47 @@
+// Package geo provides geographic primitives for the CDN model: latitude/
+// longitude points, great-circle distances, and a Hilbert space-filling
+// curve used for proximity clustering (paper Section 5.2, ref [39]/[44]).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64 // latitude in [-90, 90]
+	Lon float64 // longitude in [-180, 180)
+}
+
+// Valid reports whether the point lies in the legal coordinate ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon < 360 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String formats the point as "lat,lon" with 4 decimal places.
+func (p Point) String() string {
+	return fmt.Sprintf("%.4f,%.4f", p.Lat, p.Lon)
+}
+
+// DistanceKm returns the great-circle (haversine) distance between a and b
+// in kilometers.
+func DistanceKm(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}

@@ -1,0 +1,253 @@
+// Package netmodel models message delivery between CDN nodes: propagation
+// delay from great-circle distance, transmission delay from message size and
+// uplink bandwidth, FIFO queuing at each sender's output port, and an
+// inter-ISP penalty. It also accounts traffic the way the paper reports it:
+// traffic cost in km*KB (Figure 16/17) and network load in km split by
+// message class (Figure 23).
+//
+// The output-port queue is the mechanism behind the paper's scalability
+// results: a provider pushing a large update to 170 unicast children
+// serializes 170 transmissions on one uplink, so the last child's delay
+// grows with fanout x size (Figures 19 and 20).
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cdnconsistency/internal/geo"
+)
+
+// Class categorizes messages for accounting. The paper distinguishes bulky
+// update messages from light messages (polls, invalidations, maintenance).
+type Class int
+
+// Message classes.
+const (
+	ClassUpdate  Class = iota + 1 // content update payloads
+	ClassLight                    // polls, invalidations, tree maintenance
+	ClassContent                  // end-user content requests/responses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassUpdate:
+		return "update"
+	case ClassLight:
+		return "light"
+	case ClassContent:
+		return "content"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Endpoint identifies one communicating node.
+type Endpoint struct {
+	ID         string
+	Loc        geo.Point
+	ISP        int
+	UplinkKBps float64 // output-port capacity; <=0 means the network default
+}
+
+// Config tunes the delay model. Zero fields take the documented defaults.
+type Config struct {
+	// PropagationKmPerSec is the signal speed; default 200000 km/s
+	// (roughly 2/3 c, typical for fiber).
+	PropagationKmPerSec float64
+	// BaseDelay is fixed per-message overhead (processing, last-mile);
+	// default 2 ms.
+	BaseDelay time.Duration
+	// InterISPDelay is added when source and destination ISPs differ;
+	// default 15 ms. This reproduces the paper's Section 3.4.3 finding
+	// that inter-ISP traffic inflates inconsistency.
+	InterISPDelay time.Duration
+	// DefaultUplinkKBps is used when an endpoint does not set its own;
+	// default 12500 KB/s (100 Mbit/s).
+	DefaultUplinkKBps float64
+	// JitterFrac adds uniform random jitter in [0, JitterFrac] of the
+	// propagation delay; default 0 (deterministic).
+	JitterFrac float64
+	// LossProb is the per-transmission loss probability; a lost
+	// transmission is retried after RetransmitTimeout (geometric number
+	// of retries), modeling reliable delivery over a lossy path. Default
+	// 0 (lossless). Requires a non-nil rng.
+	LossProb float64
+	// RetransmitTimeout is the added delay per lost transmission;
+	// default 1 s.
+	RetransmitTimeout time.Duration
+	// DisableQueuing turns off output-port serialization. Used only by
+	// the ablation benchmarks; the realistic model keeps it on.
+	DisableQueuing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PropagationKmPerSec <= 0 {
+		c.PropagationKmPerSec = 200000
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 2 * time.Millisecond
+	}
+	if c.InterISPDelay == 0 {
+		c.InterISPDelay = 15 * time.Millisecond
+	}
+	if c.DefaultUplinkKBps <= 0 {
+		c.DefaultUplinkKBps = 12500
+	}
+	if c.LossProb < 0 {
+		c.LossProb = 0
+	}
+	if c.LossProb >= 1 {
+		c.LossProb = 0.99 // a fully lossy link would never deliver
+	}
+	if c.RetransmitTimeout <= 0 {
+		c.RetransmitTimeout = time.Second
+	}
+	return c
+}
+
+// Network computes delivery delays and accumulates traffic accounting.
+// It is not safe for concurrent use; the discrete-event simulation is
+// single-threaded by design.
+type Network struct {
+	cfg       Config
+	rng       *rand.Rand
+	busyUntil map[string]time.Duration
+	acct      Accounting
+}
+
+// New returns a Network with the given configuration. rng may be nil for a
+// fully deterministic model (no jitter even if JitterFrac is set).
+func New(cfg Config, rng *rand.Rand) *Network {
+	return &Network{
+		cfg:       cfg.withDefaults(),
+		rng:       rng,
+		busyUntil: make(map[string]time.Duration),
+		acct:      newAccounting(),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// PropagationDelay returns the one-way propagation component between two
+// endpoints, excluding transmission and queuing.
+func (n *Network) PropagationDelay(from, to Endpoint) time.Duration {
+	km := geo.DistanceKm(from.Loc, to.Loc)
+	d := time.Duration(km / n.cfg.PropagationKmPerSec * float64(time.Second))
+	d += n.cfg.BaseDelay
+	if from.ISP != to.ISP {
+		d += n.cfg.InterISPDelay
+	}
+	return d
+}
+
+// transmissionDelay is size/bandwidth on the sender's uplink.
+func (n *Network) transmissionDelay(from Endpoint, sizeKB float64) time.Duration {
+	bw := from.UplinkKBps
+	if bw <= 0 {
+		bw = n.cfg.DefaultUplinkKBps
+	}
+	return time.Duration(sizeKB / bw * float64(time.Second))
+}
+
+// Send records a message of sizeKB from one endpoint to another at virtual
+// time now, and returns its arrival time. Queuing at the sender's output
+// port is modeled: the transmission starts when the uplink frees up.
+func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.Duration) time.Duration {
+	if sizeKB < 0 {
+		sizeKB = 0
+	}
+	tx := n.transmissionDelay(from, sizeKB)
+	start := now
+	if !n.cfg.DisableQueuing {
+		if busy := n.busyUntil[from.ID]; busy > start {
+			start = busy
+		}
+		n.busyUntil[from.ID] = start + tx
+	}
+	prop := n.PropagationDelay(from, to)
+	if n.cfg.JitterFrac > 0 && n.rng != nil {
+		prop += time.Duration(n.rng.Float64() * n.cfg.JitterFrac * float64(prop))
+	}
+	arrival := start + tx + prop
+
+	km := geo.DistanceKm(from.Loc, to.Loc)
+	n.acct.record(class, km, sizeKB)
+
+	// Lossy path: each lost transmission costs a retransmission timeout
+	// and is re-sent (and re-accounted — the bytes really crossed the
+	// wire again).
+	if n.cfg.LossProb > 0 && n.rng != nil {
+		for n.rng.Float64() < n.cfg.LossProb {
+			arrival += n.cfg.RetransmitTimeout + tx
+			n.acct.record(class, km, sizeKB)
+		}
+	}
+	return arrival
+}
+
+// Accounting returns a snapshot of the traffic accounting so far.
+func (n *Network) Accounting() Accounting { return n.acct.clone() }
+
+// ResetAccounting zeroes the traffic accounting (queue state is preserved).
+func (n *Network) ResetAccounting() { n.acct = newAccounting() }
+
+// ClassTotals aggregates traffic for one message class.
+type ClassTotals struct {
+	Messages int     // number of messages sent
+	KB       float64 // total payload
+	Km       float64 // total transmission distance (network load, Fig. 23)
+	KmKB     float64 // traffic cost (Fig. 16/17), sum of distance*size
+}
+
+// Accounting aggregates traffic per message class.
+type Accounting struct {
+	ByClass map[Class]ClassTotals
+}
+
+func newAccounting() Accounting {
+	return Accounting{ByClass: make(map[Class]ClassTotals)}
+}
+
+func (a *Accounting) record(class Class, km, kb float64) {
+	t := a.ByClass[class]
+	t.Messages++
+	t.KB += kb
+	t.Km += km
+	t.KmKB += km * kb
+	a.ByClass[class] = t
+}
+
+func (a Accounting) clone() Accounting {
+	out := newAccounting()
+	for k, v := range a.ByClass {
+		out.ByClass[k] = v
+	}
+	return out
+}
+
+// Total sums all classes.
+func (a Accounting) Total() ClassTotals {
+	var t ClassTotals
+	for _, v := range a.ByClass {
+		t.Messages += v.Messages
+		t.KB += v.KB
+		t.Km += v.Km
+		t.KmKB += v.KmKB
+	}
+	return t
+}
+
+// Classes returns the classes present, sorted, for stable output.
+func (a Accounting) Classes() []Class {
+	out := make([]Class, 0, len(a.ByClass))
+	for c := range a.ByClass {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

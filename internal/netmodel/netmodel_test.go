@@ -1,0 +1,277 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cdnconsistency/internal/geo"
+)
+
+var (
+	atlanta = Endpoint{ID: "atl", Loc: geo.Point{Lat: 33.749, Lon: -84.388}, ISP: 1}
+	london  = Endpoint{ID: "lon", Loc: geo.Point{Lat: 51.5074, Lon: -0.1278}, ISP: 1}
+	tokyo   = Endpoint{ID: "tyo", Loc: geo.Point{Lat: 35.6762, Lon: 139.6503}, ISP: 2}
+)
+
+func TestPropagationDelayGrowsWithDistance(t *testing.T) {
+	n := New(Config{}, nil)
+	near := n.PropagationDelay(atlanta, atlanta)
+	mid := n.PropagationDelay(atlanta, london)
+	if mid <= near {
+		t.Errorf("delay to london %v not greater than local %v", mid, near)
+	}
+	// ~6760 km at 200000 km/s is ~33.8 ms + 2 ms base.
+	want := 36 * time.Millisecond
+	if d := mid - want; d < -5*time.Millisecond || d > 5*time.Millisecond {
+		t.Errorf("atlanta-london delay = %v, want about %v", mid, want)
+	}
+}
+
+func TestInterISPPenalty(t *testing.T) {
+	n := New(Config{InterISPDelay: 15 * time.Millisecond}, nil)
+	sameISP := Endpoint{ID: "x", Loc: tokyo.Loc, ISP: atlanta.ISP}
+	intra := n.PropagationDelay(atlanta, sameISP)
+	inter := n.PropagationDelay(atlanta, tokyo)
+	if inter-intra != 15*time.Millisecond {
+		t.Errorf("inter-ISP penalty = %v, want 15ms", inter-intra)
+	}
+}
+
+func TestInterISPPenaltyCanBeNegativeDisabled(t *testing.T) {
+	n := New(Config{InterISPDelay: -1}, nil) // explicit negative keeps it
+	inter := n.PropagationDelay(atlanta, tokyo)
+	intra := n.PropagationDelay(atlanta, Endpoint{ID: "x", Loc: tokyo.Loc, ISP: atlanta.ISP})
+	if inter >= intra {
+		t.Errorf("negative InterISPDelay not applied: inter %v intra %v", inter, intra)
+	}
+}
+
+func TestOutputPortQueuing(t *testing.T) {
+	n := New(Config{DefaultUplinkKBps: 100}, nil) // 100 KB/s: 100 KB takes 1 s
+	const size = 100.0
+	a1 := n.Send(atlanta, london, size, ClassUpdate, 0)
+	a2 := n.Send(atlanta, london, size, ClassUpdate, 0)
+	a3 := n.Send(atlanta, london, size, ClassUpdate, 0)
+	// Each transmission serializes behind the previous on atlanta's uplink.
+	if d := a2 - a1; d != time.Second {
+		t.Errorf("second message delayed by %v, want 1s", d)
+	}
+	if d := a3 - a2; d != time.Second {
+		t.Errorf("third message delayed by %v, want 1s", d)
+	}
+}
+
+func TestQueueDrains(t *testing.T) {
+	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	n.Send(atlanta, london, 100, ClassUpdate, 0)
+	// After the uplink frees (1s), a later send is not queued.
+	a := n.Send(atlanta, london, 100, ClassUpdate, 5*time.Second)
+	b := n.Send(atlanta, london, 100, ClassUpdate, 10*time.Second)
+	base := n.PropagationDelay(atlanta, london) + time.Second
+	if a != 5*time.Second+base {
+		t.Errorf("drained queue send arrived %v, want %v", a, 5*time.Second+base)
+	}
+	if b != 10*time.Second+base {
+		t.Errorf("drained queue send arrived %v, want %v", b, 10*time.Second+base)
+	}
+}
+
+func TestDisableQueuing(t *testing.T) {
+	n := New(Config{DefaultUplinkKBps: 100, DisableQueuing: true}, nil)
+	a1 := n.Send(atlanta, london, 100, ClassUpdate, 0)
+	a2 := n.Send(atlanta, london, 100, ClassUpdate, 0)
+	if a1 != a2 {
+		t.Errorf("with queuing disabled arrivals differ: %v vs %v", a1, a2)
+	}
+}
+
+func TestQueuingSeparatePerSender(t *testing.T) {
+	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	n.Send(atlanta, london, 1000, ClassUpdate, 0) // 10s on atlanta's uplink
+	// tokyo's uplink is independent.
+	a := n.Send(tokyo, london, 100, ClassUpdate, 0)
+	want := n.PropagationDelay(tokyo, london) + time.Second
+	if a != want {
+		t.Errorf("independent sender arrival %v, want %v", a, want)
+	}
+}
+
+func TestEndpointUplinkOverride(t *testing.T) {
+	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	fast := atlanta
+	fast.ID = "fast"
+	fast.UplinkKBps = 10000
+	slow := n.Send(atlanta, london, 100, ClassUpdate, 0)
+	quickA := n.Send(fast, london, 100, ClassUpdate, 0)
+	if quickA >= slow {
+		t.Errorf("fast uplink arrival %v not before default %v", quickA, slow)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	n := New(Config{}, nil)
+	n.Send(atlanta, london, 2, ClassUpdate, 0)
+	n.Send(atlanta, london, 1, ClassLight, 0)
+	n.Send(atlanta, london, 1, ClassLight, 0)
+	acct := n.Accounting()
+	km := geo.DistanceKm(atlanta.Loc, london.Loc)
+
+	up := acct.ByClass[ClassUpdate]
+	if up.Messages != 1 || math.Abs(up.KmKB-2*km) > 1e-6 {
+		t.Errorf("update totals = %+v, want 1 msg, %.1f km*KB", up, 2*km)
+	}
+	light := acct.ByClass[ClassLight]
+	if light.Messages != 2 || math.Abs(light.Km-2*km) > 1e-6 {
+		t.Errorf("light totals = %+v, want 2 msgs, %.1f km", light, 2*km)
+	}
+	tot := acct.Total()
+	if tot.Messages != 3 || math.Abs(tot.KB-4) > 1e-9 {
+		t.Errorf("total = %+v", tot)
+	}
+
+	n.ResetAccounting()
+	if n.Accounting().Total().Messages != 0 {
+		t.Error("ResetAccounting did not clear totals")
+	}
+}
+
+func TestAccountingSnapshotIsolated(t *testing.T) {
+	n := New(Config{}, nil)
+	n.Send(atlanta, london, 1, ClassUpdate, 0)
+	snap := n.Accounting()
+	n.Send(atlanta, london, 1, ClassUpdate, 0)
+	if snap.ByClass[ClassUpdate].Messages != 1 {
+		t.Error("snapshot mutated by later sends")
+	}
+}
+
+func TestClassesSortedAndString(t *testing.T) {
+	n := New(Config{}, nil)
+	n.Send(atlanta, london, 1, ClassContent, 0)
+	n.Send(atlanta, london, 1, ClassUpdate, 0)
+	got := n.Accounting().Classes()
+	if len(got) != 2 || got[0] != ClassUpdate || got[1] != ClassContent {
+		t.Errorf("Classes() = %v", got)
+	}
+	if ClassUpdate.String() != "update" || ClassLight.String() != "light" ||
+		ClassContent.String() != "content" || Class(9).String() != "class(9)" {
+		t.Error("Class.String values wrong")
+	}
+}
+
+func TestJitterBoundedAndDeterministicWithSeed(t *testing.T) {
+	mk := func() *Network {
+		return New(Config{JitterFrac: 0.2}, rand.New(rand.NewSource(5)))
+	}
+	n1, n2 := mk(), mk()
+	base := New(Config{}, nil).PropagationDelay(atlanta, london)
+	for i := 0; i < 100; i++ {
+		a1 := n1.Send(atlanta, london, 1, ClassLight, time.Duration(i)*time.Second)
+		a2 := n2.Send(atlanta, london, 1, ClassLight, time.Duration(i)*time.Second)
+		if a1 != a2 {
+			t.Fatalf("jittered sends diverge with same seed: %v vs %v", a1, a2)
+		}
+		prop := a1 - time.Duration(i)*time.Second
+		if prop < base {
+			t.Fatalf("jitter reduced delay below base: %v < %v", prop, base)
+		}
+		if prop > base+time.Duration(0.25*float64(base)) {
+			t.Fatalf("jitter exceeded bound: %v vs base %v", prop, base)
+		}
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	n := New(Config{}, nil)
+	a := n.Send(atlanta, london, -5, ClassLight, 0)
+	if a < 0 {
+		t.Errorf("negative-size send arrived at %v", a)
+	}
+	if n.Accounting().Total().KB != 0 {
+		t.Error("negative size accounted as nonzero KB")
+	}
+}
+
+// Property: arrival is never before now + propagation, and messages from the
+// same sender arrive in FIFO order per destination when sizes are equal.
+func TestPropertySendCausalAndMonotone(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		n := New(Config{DefaultUplinkKBps: 50}, nil)
+		var prev time.Duration
+		for i, s := range sizes {
+			now := time.Duration(i) * time.Millisecond
+			a := n.Send(atlanta, london, float64(s), ClassUpdate, now)
+			if a < now+n.PropagationDelay(atlanta, london) {
+				return false
+			}
+			if a < prev { // uplink FIFO implies non-decreasing arrivals
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	n := New(Config{}, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Send(atlanta, london, 1, ClassUpdate, time.Duration(i)*time.Microsecond)
+	}
+}
+
+func TestLossyPathRetransmits(t *testing.T) {
+	lossless := New(Config{}, nil)
+	lossy := New(Config{LossProb: 0.5, RetransmitTimeout: time.Second}, rand.New(rand.NewSource(7)))
+
+	var slower, n int
+	base := lossless.Send(atlanta, london, 1, ClassUpdate, 0)
+	for i := 0; i < 200; i++ {
+		now := time.Duration(i) * 10 * time.Second
+		a := lossy.Send(atlanta, london, 1, ClassUpdate, now) - now
+		n++
+		if a > base {
+			slower++
+		}
+		if a < base {
+			t.Fatalf("lossy delivery %v faster than lossless %v", a, base)
+		}
+	}
+	// With p=0.5, about half the sends should see at least one retry.
+	if frac := float64(slower) / float64(n); frac < 0.3 || frac > 0.7 {
+		t.Errorf("retry fraction = %.2f, want ~0.5", frac)
+	}
+	// Retransmissions are accounted: more than one message per Send.
+	msgs := lossy.Accounting().Total().Messages
+	if msgs <= n {
+		t.Errorf("accounted %d messages for %d sends, want more (retries)", msgs, n)
+	}
+}
+
+func TestLossProbClamped(t *testing.T) {
+	n := New(Config{LossProb: 5, RetransmitTimeout: time.Millisecond}, rand.New(rand.NewSource(8)))
+	// Must terminate despite LossProb > 1 (clamped to 0.99).
+	a := n.Send(atlanta, london, 1, ClassLight, 0)
+	if a <= 0 {
+		t.Errorf("arrival = %v", a)
+	}
+	neg := New(Config{LossProb: -1}, nil)
+	if got := neg.Config().LossProb; got != 0 {
+		t.Errorf("negative LossProb kept: %v", got)
+	}
+}
+
+func TestLossWithoutRngIsLossless(t *testing.T) {
+	n := New(Config{LossProb: 0.9}, nil)
+	base := New(Config{}, nil)
+	if n.Send(atlanta, london, 1, ClassLight, 0) != base.Send(atlanta, london, 1, ClassLight, 0) {
+		t.Error("loss applied without an rng")
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is virtual: a simulation run consumes no wall-clock time beyond the
+// CPU needed to execute event handlers. Events scheduled for the same
+// timestamp fire in scheduling (FIFO) order, which makes runs with the same
+// seed bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Handler is the callback executed when an event fires. It receives the
+// engine so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled handler. seq breaks timestamp ties FIFO.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	handler Handler
+	id      uint64
+	dead    bool
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	nextID  uint64
+	live    map[uint64]*event
+	rng     *rand.Rand
+	stopped bool
+
+	// processed counts events executed, for diagnostics and loop guards.
+	processed uint64
+	// maxEvents aborts runaway simulations; 0 means no limit.
+	maxEvents uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		live: make(map[uint64]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. Handlers must use
+// this source (never the global one) so runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetMaxEvents sets an execution cap; Run returns ErrEventLimit when
+// exceeded. A limit of 0 disables the cap.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// ErrEventLimit is returned by Run when the configured event cap is hit.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer uint64
+
+// ScheduleAt schedules h to run at absolute virtual time at. Scheduling in
+// the past (before Now) is an error that would break causality.
+func (e *Engine) ScheduleAt(at time.Duration, h Handler) (Timer, error) {
+	if at < e.now {
+		return 0, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: at, seq: e.nextSeq, handler: h, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	e.live[ev.id] = ev
+	return Timer(ev.id), nil
+}
+
+// ScheduleAfter schedules h to run d after the current virtual time.
+// A negative d is clamped to zero.
+func (e *Engine) ScheduleAfter(d time.Duration, h Handler) Timer {
+	if d < 0 {
+		d = 0
+	}
+	t, _ := e.ScheduleAt(e.now+d, h) // never in the past by construction
+	return t
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op and reports false.
+func (e *Engine) Cancel(t Timer) bool {
+	ev, ok := e.live[uint64(t)]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.live, uint64(t))
+	return true
+}
+
+// Stop makes Run return after the current handler completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live (not cancelled) scheduled events.
+func (e *Engine) Pending() int { return len(e.live) }
+
+// Run executes events in timestamp order until the queue drains, the horizon
+// is passed, Stop is called, or the event cap is hit. A horizon of 0 means
+// run until the queue is empty. Events scheduled exactly at the horizon
+// still fire; later ones remain queued.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if horizon > 0 && ev.at > horizon {
+			// Advance the clock to the horizon so callers observe a
+			// consistent end time.
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.queue)
+		delete(e.live, ev.id)
+		e.now = ev.at
+		e.processed++
+		if e.maxEvents > 0 && e.processed > e.maxEvents {
+			return ErrEventLimit
+		}
+		ev.handler(e)
+	}
+	if horizon > 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Every schedules h to run now+d, then every d thereafter, until the
+// returned stop function is called or pred (if non-nil) returns false.
+// The period must be positive.
+func (e *Engine) Every(d time.Duration, h Handler) (stop func(), err error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", d)
+	}
+	var (
+		cancelled bool
+		cur       Timer
+	)
+	var tick Handler
+	tick = func(en *Engine) {
+		if cancelled {
+			return
+		}
+		h(en)
+		if cancelled {
+			return
+		}
+		cur = en.ScheduleAfter(d, tick)
+	}
+	cur = e.ScheduleAfter(d, tick)
+	return func() {
+		cancelled = true
+		e.Cancel(cur)
+	}, nil
+}

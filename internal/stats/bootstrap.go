@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs by the
+// percentile bootstrap: resamples resampled means and takes the matching
+// quantiles. confidence is e.g. 0.95; the generator seed makes the interval
+// reproducible.
+func BootstrapMeanCI(xs []float64, resamples int, confidence float64, seed int64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: resamples %d < 10", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	n := len(xs)
+	for i := range means {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: means[lo], Hi: means[hi]}, nil
+}

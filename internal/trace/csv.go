@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV export carries the poll records only (metadata and server info stay
+// in the JSONL form); it exists for interop with external analysis tools.
+
+var csvHeader = []string{
+	"day", "server", "poller", "at_ns", "snapshot", "rtt_ns",
+	"absent", "provider", "user_view",
+}
+
+// WriteCSV writes the trace's poll records as CSV with a header row.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for i, r := range t.Records {
+		row := []string{
+			strconv.Itoa(r.Day),
+			r.Server,
+			r.Poller,
+			strconv.FormatInt(int64(r.At), 10),
+			strconv.Itoa(r.Snapshot),
+			strconv.FormatInt(int64(r.RTT), 10),
+			strconv.FormatBool(r.Absent),
+			strconv.FormatBool(r.Provider),
+			strconv.FormatBool(r.UserView),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: csv record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVRecords parses poll records written by WriteCSV.
+func ReadCSVRecords(r io.Reader) ([]PollRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	var out []PollRecord
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseCSVRow(row []string) (PollRecord, error) {
+	var rec PollRecord
+	var err error
+	if rec.Day, err = strconv.Atoi(row[0]); err != nil {
+		return rec, fmt.Errorf("day: %w", err)
+	}
+	rec.Server = row[1]
+	rec.Poller = row[2]
+	at, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("at_ns: %w", err)
+	}
+	rec.At = time.Duration(at)
+	if rec.Snapshot, err = strconv.Atoi(row[4]); err != nil {
+		return rec, fmt.Errorf("snapshot: %w", err)
+	}
+	rtt, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("rtt_ns: %w", err)
+	}
+	rec.RTT = time.Duration(rtt)
+	if rec.Absent, err = strconv.ParseBool(row[6]); err != nil {
+		return rec, fmt.Errorf("absent: %w", err)
+	}
+	if rec.Provider, err = strconv.ParseBool(row[7]); err != nil {
+		return rec, fmt.Errorf("provider: %w", err)
+	}
+	if rec.UserView, err = strconv.ParseBool(row[8]); err != nil {
+		return rec, fmt.Errorf("user_view: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSVRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSVRecords: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Records, got) {
+		t.Errorf("records mismatch:\n%+v\n%+v", tr.Records, got)
+	}
+}
+
+func TestCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Trace{}); err != nil {
+		t.Fatalf("WriteCSV empty: %v", err)
+	}
+	got, err := ReadCSVRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSVRecords empty: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("records = %d, want 0", len(got))
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f,g,h,i\n"},
+		{"bad day", strings.Join(csvHeader, ",") + "\nx,s,p,0,1,0,false,false,false\n"},
+		{"bad at", strings.Join(csvHeader, ",") + "\n0,s,p,x,1,0,false,false,false\n"},
+		{"bad snapshot", strings.Join(csvHeader, ",") + "\n0,s,p,0,x,0,false,false,false\n"},
+		{"bad rtt", strings.Join(csvHeader, ",") + "\n0,s,p,0,1,x,false,false,false\n"},
+		{"bad absent", strings.Join(csvHeader, ",") + "\n0,s,p,0,1,0,x,false,false\n"},
+		{"bad provider", strings.Join(csvHeader, ",") + "\n0,s,p,0,1,0,false,x,false\n"},
+		{"bad userview", strings.Join(csvHeader, ",") + "\n0,s,p,0,1,0,false,false,x\n"},
+		{"short row", strings.Join(csvHeader, ",") + "\n0,s,p\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSVRecords(strings.NewReader(tc.input)); err == nil {
+				t.Error("bad input accepted")
+			}
+		})
+	}
+}
+
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(day uint8, atSec uint16, snap uint16, absent, provider, userView bool) bool {
+		rec := PollRecord{
+			Day: int(day), Server: "srv", Poller: "pl",
+			At: time.Duration(atSec) * time.Second, RTT: 42 * time.Millisecond,
+			Absent: absent, Provider: provider, UserView: userView,
+		}
+		if !absent {
+			rec.Snapshot = int(snap)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, &Trace{Records: []PollRecord{rec}}); err != nil {
+			return false
+		}
+		got, err := ReadCSVRecords(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

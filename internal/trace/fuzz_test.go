@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the JSONL reader against arbitrary input: it must
+// never panic, and anything it accepts must round-trip through Write.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add(`{"type":"meta","meta":{"days":1,"poll_interval":1}}`)
+	f.Add(`{"type":"poll","poll":{"server":"x"}}`)
+	f.Add("{{{{")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read of own Write output: %v", err)
+		}
+		if len(again.Records) != len(tr.Records) || len(again.Servers) != len(tr.Servers) {
+			t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+				len(tr.Records), len(tr.Servers), len(again.Records), len(again.Servers))
+		}
+	})
+}
+
+// FuzzReadCSV exercises the CSV record reader the same way.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCSV(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("day,server\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadCSVRecords(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, &Trace{Records: recs}); err != nil {
+			t.Fatalf("WriteCSV after successful read: %v", err)
+		}
+		again, err := ReadCSVRecords(&buf)
+		if err != nil {
+			t.Fatalf("ReadCSVRecords of own output: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed count: %d vs %d", len(recs), len(again))
+		}
+	})
+}

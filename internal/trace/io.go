@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The JSONL format is one object per line, each tagged with a "type" field:
+// exactly one "meta" line (first), then "server" lines, then "poll" lines.
+// It is greppable, streams, and append-friendly for long crawls.
+
+type lineEnvelope struct {
+	Type string `json:"type"`
+}
+
+type metaLine struct {
+	Type string `json:"type"`
+	Meta Meta   `json:"meta"`
+}
+
+type serverLine struct {
+	Type   string     `json:"type"`
+	Server ServerInfo `json:"server"`
+}
+
+type pollLine struct {
+	Type string     `json:"type"`
+	Poll PollRecord `json:"poll"`
+}
+
+// Write serializes a trace as JSONL.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(metaLine{Type: "meta", Meta: t.Meta}); err != nil {
+		return fmt.Errorf("trace: write meta: %w", err)
+	}
+	for _, s := range t.Servers {
+		if err := enc.Encode(serverLine{Type: "server", Server: s}); err != nil {
+			return fmt.Errorf("trace: write server %s: %w", s.ID, err)
+		}
+	}
+	for i, r := range t.Records {
+		if err := enc.Encode(pollLine{Type: "poll", Poll: r}); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	t := &Trace{}
+	sawMeta := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env lineEnvelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch env.Type {
+		case "meta":
+			if sawMeta {
+				return nil, fmt.Errorf("trace: line %d: duplicate meta", lineNo)
+			}
+			var m metaLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			t.Meta = m.Meta
+			sawMeta = true
+		case "server":
+			var s serverLine
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			t.Servers = append(t.Servers, s.Server)
+		case "poll":
+			var p pollLine
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			t.Records = append(t.Records, p.Poll)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown type %q", lineNo, env.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	if !sawMeta {
+		return nil, errors.New("trace: missing meta line")
+	}
+	return t, nil
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Meta: Meta{
+			Description:  "test",
+			Days:         2,
+			PollInterval: 10 * time.Second,
+			DayLength:    time.Hour,
+			ServerTTL:    60 * time.Second,
+			Seed:         7,
+		},
+		Servers: []ServerInfo{
+			{ID: "s1", Lat: 33.7, Lon: -84.4, ISP: 1, City: 0, DistanceKm: 0},
+			{ID: "s2", Lat: 51.5, Lon: -0.1, ISP: 2, City: 1, DistanceKm: 6760},
+		},
+		Records: []PollRecord{
+			{Day: 0, Server: "s1", Poller: "p1", At: 10 * time.Second, Snapshot: 1, RTT: 80 * time.Millisecond},
+			{Day: 0, Server: "s2", Poller: "p2", At: 10 * time.Second, Snapshot: 0, Absent: true, RTT: 0},
+			{Day: 1, Server: "s2", Poller: "p2", At: 20 * time.Second, Snapshot: 2, RTT: 120 * time.Millisecond},
+			{Day: 0, Server: "origin", Poller: "p1", At: 30 * time.Second, Snapshot: 2, Provider: true},
+			{Day: 0, Server: "s1", Poller: "u1", At: 40 * time.Second, Snapshot: 1, UserView: true},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"zero days", func(tr *Trace) { tr.Meta.Days = 0 }},
+		{"zero interval", func(tr *Trace) { tr.Meta.PollInterval = 0 }},
+		{"empty server id", func(tr *Trace) { tr.Servers[0].ID = "" }},
+		{"dup server id", func(tr *Trace) { tr.Servers[1].ID = "s1" }},
+		{"bad day", func(tr *Trace) { tr.Records[0].Day = 5 }},
+		{"unknown server", func(tr *Trace) { tr.Records[0].Server = "ghost" }},
+		{"negative time", func(tr *Trace) { tr.Records[0].At = -time.Second }},
+		{"time past day", func(tr *Trace) { tr.Records[0].At = 2 * time.Hour }},
+		{"negative snapshot", func(tr *Trace) { tr.Records[0].Snapshot = -1 }},
+		{"absent with snapshot", func(tr *Trace) { tr.Records[1].Snapshot = 3 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			tr := sampleTrace()
+			m.mut(tr)
+			if err := tr.Validate(); err == nil {
+				t.Error("Validate accepted corrupt trace")
+			}
+		})
+	}
+}
+
+func TestServerByID(t *testing.T) {
+	tr := sampleTrace()
+	s, ok := tr.ServerByID("s2")
+	if !ok || s.ISP != 2 {
+		t.Errorf("ServerByID(s2) = %+v, %v", s, ok)
+	}
+	if _, ok := tr.ServerByID("nope"); ok {
+		t.Error("found nonexistent server")
+	}
+}
+
+func TestDayRecords(t *testing.T) {
+	tr := sampleTrace()
+	if got := len(tr.DayRecords(0)); got != 4 {
+		t.Errorf("day 0 records = %d, want 4", got)
+	}
+	if got := len(tr.DayRecords(1)); got != 1 {
+		t.Errorf("day 1 records = %d, want 1", got)
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	tr := sampleTrace()
+	tr.SortRecords()
+	for i := 1; i < len(tr.Records); i++ {
+		a, b := tr.Records[i-1], tr.Records[i]
+		if a.Day > b.Day || (a.Day == b.Day && a.At > b.At) {
+			t.Fatalf("records out of order at %d", i)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Meta, got.Meta) {
+		t.Errorf("meta mismatch:\n%+v\n%+v", tr.Meta, got.Meta)
+	}
+	if !reflect.DeepEqual(tr.Servers, got.Servers) {
+		t.Errorf("servers mismatch")
+	}
+	if !reflect.DeepEqual(tr.Records, got.Records) {
+		t.Errorf("records mismatch:\n%+v\n%+v", tr.Records, got.Records)
+	}
+}
+
+func TestPropertyRoundTripRecords(t *testing.T) {
+	f := func(day uint8, atSec uint16, snapshot uint16, rttMS uint16, absent bool) bool {
+		rec := PollRecord{
+			Day:    int(day % 3),
+			Server: "s1",
+			Poller: "p1",
+			At:     time.Duration(atSec) * time.Second,
+			RTT:    time.Duration(rttMS) * time.Millisecond,
+			Absent: absent,
+			// Absent records must carry snapshot 0 per schema.
+			Snapshot: 0,
+		}
+		if !absent {
+			rec.Snapshot = int(snapshot)
+		}
+		tr := &Trace{
+			Meta:    Meta{Days: 3, PollInterval: time.Second, DayLength: 20 * time.Hour},
+			Servers: []ServerInfo{{ID: "s1"}},
+			Records: []PollRecord{rec},
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr.Records, got.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"no meta", `{"type":"poll","poll":{"server":"s1"}}`},
+		{"dup meta", `{"type":"meta","meta":{"days":1,"poll_interval":1}}` + "\n" + `{"type":"meta","meta":{"days":1,"poll_interval":1}}`},
+		{"unknown type", `{"type":"mystery"}`},
+		{"bad json", `{{{`},
+		{"empty", ``},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.input)); err == nil {
+				t.Error("Read accepted bad input")
+			}
+		})
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	input := `{"type":"meta","meta":{"description":"x","days":1,"poll_interval":1000000000}}` + "\n\n" +
+		`{"type":"server","server":{"id":"s1"}}` + "\n"
+	tr, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr.Servers) != 1 {
+		t.Errorf("servers = %d", len(tr.Servers))
+	}
+}
+
+func TestSkewEstimateAndCorrect(t *testing.T) {
+	// Node starts a query at t=100s (its clock). The server's clock runs
+	// 5s fast; one-way delay is 40ms, so the server receives at true time
+	// 100.04s and stamps 105.04s. RTT measured 80ms.
+	nodeStart := 100 * time.Second
+	serverRecv := 105*time.Second + 40*time.Millisecond
+	rtt := 80 * time.Millisecond
+	skew := EstimateSkew(nodeStart, serverRecv, rtt)
+	if skew != 5*time.Second {
+		t.Fatalf("skew = %v, want 5s", skew)
+	}
+	raw := 200 * time.Second // a later raw server timestamp
+	if got := CorrectSkew(raw, skew); got != 195*time.Second {
+		t.Errorf("CorrectSkew = %v, want 195s", got)
+	}
+}
+
+// Property: skew estimation recovers the true offset exactly when delays are
+// symmetric, and within one-way-delay error otherwise.
+func TestPropertySkewRecovery(t *testing.T) {
+	f := func(offsetMS int32, owdMS uint16) bool {
+		offset := time.Duration(offsetMS) * time.Millisecond
+		owd := time.Duration(owdMS%1000) * time.Millisecond
+		nodeStart := time.Hour
+		serverRecv := nodeStart + owd + offset
+		rtt := 2 * owd
+		got := EstimateSkew(nodeStart, serverRecv, rtt)
+		return got == offset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if merged.Meta.Days != 4 {
+		t.Errorf("days = %d, want 4", merged.Meta.Days)
+	}
+	if len(merged.Servers) != 2 {
+		t.Errorf("servers = %d, want 2 (deduped)", len(merged.Servers))
+	}
+	if len(merged.Records) != len(a.Records)+len(b.Records) {
+		t.Errorf("records = %d", len(merged.Records))
+	}
+	// b's day-0 records became day 2.
+	var sawDay2 bool
+	for _, r := range merged.Records {
+		if r.Day == 2 {
+			sawDay2 = true
+		}
+		if r.Day < 0 || r.Day >= 4 {
+			t.Fatalf("record day %d out of range", r.Day)
+		}
+	}
+	if !sawDay2 {
+		t.Error("no records shifted to day 2")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	a := sampleTrace()
+	b := sampleTrace()
+	b.Meta.PollInterval = time.Second
+	if _, err := Merge(a, b); err == nil {
+		t.Error("mismatched interval accepted")
+	}
+	c := sampleTrace()
+	c.Servers[0].ISP = 99 // same id, different info
+	if _, err := Merge(a, c); err == nil {
+		t.Error("conflicting server accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultGameShape(t *testing.T) {
+	cfg := DefaultGame()
+	if got := cfg.Duration(); got != 146*time.Minute {
+		t.Errorf("Duration = %v, want 146m", got)
+	}
+	updates, err := Schedule(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ~306 snapshots; allow sampling spread.
+	if len(updates) < 240 || len(updates) > 380 {
+		t.Errorf("update count = %d, want ~306", len(updates))
+	}
+	// No updates during halftime (65m..81m).
+	for _, u := range updates {
+		if u.At >= 65*time.Minute && u.At < 81*time.Minute {
+			t.Errorf("update %d at %v falls in halftime", u.Snapshot, u.At)
+		}
+		if u.SizeKB != 1 {
+			t.Errorf("update size = %v, want 1", u.SizeKB)
+		}
+	}
+}
+
+func TestScheduleMonotoneNumbered(t *testing.T) {
+	updates, err := Schedule(DefaultGame(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range updates {
+		if u.Snapshot != i+1 {
+			t.Fatalf("snapshot %d at position %d", u.Snapshot, i)
+		}
+		if i > 0 && u.At <= updates[i-1].At {
+			t.Fatalf("non-increasing times at %d: %v then %v", i, updates[i-1].At, u.At)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := Schedule(DefaultGame(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(DefaultGame(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule(GameConfig{}, 1); err == nil {
+		t.Error("empty phases accepted")
+	}
+	if _, err := Schedule(GameConfig{Phases: []Phase{{Name: "x", Duration: 0, MeanGap: time.Second}}}, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Schedule(GameConfig{Phases: []Phase{{Name: "x", Duration: time.Minute, MeanGap: -time.Second}}}, 1); err == nil {
+		t.Error("negative mean gap accepted")
+	}
+}
+
+func TestScheduleMinGapEnforced(t *testing.T) {
+	cfg := GameConfig{
+		Phases: []Phase{{Name: "fast", Duration: 10 * time.Minute, MeanGap: time.Millisecond}},
+		MinGap: 2 * time.Second,
+	}
+	updates, err := Schedule(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(updates); i++ {
+		if gap := updates[i].At - updates[i-1].At; gap < 2*time.Second {
+			t.Fatalf("gap %v below MinGap", gap)
+		}
+	}
+}
+
+func TestSnapshotAt(t *testing.T) {
+	updates := []Update{
+		{Snapshot: 1, At: 10 * time.Second},
+		{Snapshot: 2, At: 20 * time.Second},
+		{Snapshot: 3, At: 30 * time.Second},
+	}
+	tests := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 0}, {9 * time.Second, 0}, {10 * time.Second, 1},
+		{15 * time.Second, 1}, {20 * time.Second, 2}, {99 * time.Second, 3},
+	}
+	for _, tt := range tests {
+		if got := SnapshotAt(updates, tt.t); got != tt.want {
+			t.Errorf("SnapshotAt(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+	if got := SnapshotAt(nil, time.Second); got != 0 {
+		t.Errorf("SnapshotAt(empty) = %d, want 0", got)
+	}
+}
+
+func TestPropertySnapshotAtMonotone(t *testing.T) {
+	updates, err := Schedule(DefaultGame(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aMS, bMS uint32) bool {
+		a := time.Duration(aMS) * time.Millisecond
+		b := time.Duration(bMS) * time.Millisecond
+		if a > b {
+			a, b = b, a
+		}
+		return SnapshotAt(updates, a) <= SnapshotAt(updates, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisits(t *testing.T) {
+	v := VisitPattern{Period: 10 * time.Second, Start: 3 * time.Second}
+	got, err := v.Visits(35 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{3 * time.Second, 13 * time.Second, 23 * time.Second, 33 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("visits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("visit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVisitsValidation(t *testing.T) {
+	if _, err := (VisitPattern{Period: 0}).Visits(time.Minute); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := (VisitPattern{Period: time.Second, Start: -1}).Visits(time.Minute); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestRandomStarts(t *testing.T) {
+	starts := RandomStarts(100, 50*time.Second, 1)
+	if len(starts) != 100 {
+		t.Fatalf("len = %d", len(starts))
+	}
+	for _, s := range starts {
+		if s < 0 || s >= 50*time.Second {
+			t.Fatalf("start %v outside [0,50s)", s)
+		}
+	}
+	again := RandomStarts(100, 50*time.Second, 1)
+	for i := range starts {
+		if starts[i] != again[i] {
+			t.Fatal("RandomStarts not deterministic for same seed")
+		}
+	}
+	zero := RandomStarts(5, 0, 1)
+	for _, s := range zero {
+		if s != 0 {
+			t.Errorf("max=0 produced %v", s)
+		}
+	}
+}
+
+func TestPoissonVisits(t *testing.T) {
+	visits, err := PoissonVisits(10*time.Second, time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ~360 arrivals.
+	if len(visits) < 280 || len(visits) > 440 {
+		t.Errorf("arrivals = %d, want ~360", len(visits))
+	}
+	for i, v := range visits {
+		if v < 0 || v > time.Hour {
+			t.Fatalf("visit %d at %v outside horizon", i, v)
+		}
+		if i > 0 && v < visits[i-1] {
+			t.Fatalf("visits not sorted at %d", i)
+		}
+	}
+	again, err := PoissonVisits(10*time.Second, time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(visits) {
+		t.Error("PoissonVisits not deterministic")
+	}
+}
+
+func TestPoissonVisitsValidation(t *testing.T) {
+	if _, err := PoissonVisits(0, time.Hour, 1); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := PoissonVisits(time.Second, -time.Hour, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestPoissonVisitsZeroHorizon(t *testing.T) {
+	visits, err := PoissonVisits(time.Second, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 0 {
+		t.Errorf("visits = %v, want none", visits)
+	}
+}
