@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: check build vet test race bench experiments
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Fast full regeneration pass; see EXPERIMENTS.md for the paper-scale run.
+experiments:
+	$(GO) run ./cmd/experiments -scale small -metrics

@@ -6,6 +6,7 @@ package cdnconsistency_test
 // binary produces the full-scale tables recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -128,6 +129,33 @@ func BenchmarkExtLease(b *testing.B)       { benchSimFig(b, figures.ExtLease) }
 func BenchmarkExtDNS(b *testing.B)         { benchSimFig(b, figures.ExtDNS) }
 func BenchmarkExtRegime(b *testing.B)      { benchSimFig(b, figures.ExtRegime) }
 func BenchmarkExtCatalog(b *testing.B)     { benchSimFig(b, figures.ExtCatalog) }
+
+// Serial vs parallel fan-out of a sweep-heavy figure through the worker
+// pool. Compare these two to see the wall-clock speedup on multicore
+// hardware; the table contents are byte-identical either way.
+
+func benchSimFigParallel(b *testing.B, fn func(figures.SimScale) (*figures.Table, error), workers int) {
+	scale := figures.SmallSimScale()
+	scale.Servers = 30
+	scale.UsersPerServer = 1
+	scale.Clusters = 5
+	scale.Parallel = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20Serial(b *testing.B) { benchSimFigParallel(b, figures.Fig20, 1) }
+func BenchmarkFig20Parallel(b *testing.B) {
+	benchSimFigParallel(b, figures.Fig20, runtime.GOMAXPROCS(0))
+}
+func BenchmarkFig19Serial(b *testing.B) { benchSimFigParallel(b, figures.Fig19, 1) }
+func BenchmarkFig19Parallel(b *testing.B) {
+	benchSimFigParallel(b, figures.Fig19, runtime.GOMAXPROCS(0))
+}
 
 // Design-decision ablations (DESIGN.md Section 5).
 

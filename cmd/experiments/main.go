@@ -3,20 +3,32 @@
 // evaluation figures from the cdn simulation — plus the design ablations.
 // Its output is the source for EXPERIMENTS.md.
 //
+// Figures are independent simulation grids, so they run through a bounded
+// worker pool (-parallel, default GOMAXPROCS). Every simulation is
+// deterministic from its explicit seed and results are emitted in
+// submission order, so stdout is byte-identical at any parallelism.
+//
 // Usage:
 //
 //	experiments                 # everything at default (paper-like) scale
 //	experiments -scale small    # fast pass
 //	experiments -only fig22     # a single figure
+//	experiments -parallel 1     # serial run (identical output)
+//	experiments -metrics        # per-figure wall/event/alloc summary on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sync"
+	"text/tabwriter"
 	"time"
 
 	"cdnconsistency/internal/figures"
+	"cdnconsistency/internal/runner"
 )
 
 func main() {
@@ -32,9 +44,19 @@ func run(args []string) error {
 		scaleName = fs.String("scale", "paper", "scale: paper or small")
 		only      = fs.String("only", "", "run a single figure id (e.g. fig03, fig22, ablation-queue)")
 		format    = fs.String("format", "text", "output format: text or markdown")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = serial; output is identical at any value)")
+		metrics   = fs.Bool("metrics", false, "print a per-figure timing/event/allocation summary to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	switch *format {
+	case "text", "markdown":
+	default:
+		return fmt.Errorf("unknown format %q", *format)
 	}
 
 	var (
@@ -51,20 +73,18 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	// Figures fan their own simulation grids through the same budget.
+	simScale.Parallel = *parallel
 
 	type job struct {
 		id  string
 		run func() (*figures.Table, error)
 	}
-	var env *figures.TraceEnv
-	traceEnv := func() (*figures.TraceEnv, error) {
-		if env != nil {
-			return env, nil
-		}
-		var err error
-		env, err = figures.NewTraceEnv(traceScale)
-		return env, err
-	}
+	// The trace environment is shared by all Section-3 figures and built
+	// once, by whichever trace job gets there first.
+	traceEnv := sync.OnceValues(func() (*figures.TraceEnv, error) {
+		return figures.NewTraceEnv(traceScale)
+	})
 	traceJob := func(id string, fn func(*figures.TraceEnv) (*figures.Table, error)) job {
 		return job{id: id, run: func() (*figures.Table, error) {
 			e, err := traceEnv()
@@ -113,29 +133,78 @@ func run(args []string) error {
 		simJob("ablation-depth", figures.AblationFailure),
 	}
 
-	matched := false
+	var selected []job
 	for _, j := range jobs {
 		if *only != "" && j.id != *only {
 			continue
 		}
-		matched = true
-		start := time.Now()
-		tab, err := j.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", j.id, err)
-		}
-		switch *format {
-		case "markdown":
-			fmt.Println(tab.Markdown())
-		case "text":
-			fmt.Println(tab.String())
-		default:
-			return fmt.Errorf("unknown format %q", *format)
-		}
-		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", j.id, time.Since(start).Round(time.Millisecond))
+		selected = append(selected, j)
 	}
-	if !matched {
+	if len(selected) == 0 {
 		return fmt.Errorf("no figure matches %q", *only)
 	}
+
+	pjobs := make([]runner.Job[*figures.Table], len(selected))
+	for i, j := range selected {
+		j := j
+		pjobs[i] = runner.Job[*figures.Table]{
+			ID: j.id,
+			Run: func(m *runner.Metrics) (*figures.Table, error) {
+				tab, err := j.run()
+				if err != nil {
+					return nil, err
+				}
+				m.AddEvents(tab.SimEvents)
+				return tab, nil
+			},
+		}
+	}
+
+	var summary []runner.Result[*figures.Table]
+	err := runner.ForEachOrdered(pjobs, runner.Options{Workers: *parallel, FailFast: true},
+		func(i int, r runner.Result[*figures.Table]) error {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", r.ID, r.Err)
+			}
+			switch *format {
+			case "markdown":
+				fmt.Println(r.Value.Markdown())
+			default:
+				fmt.Println(r.Value.String())
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", r.ID, r.Metrics.Wall.Round(time.Millisecond))
+			summary = append(summary, r)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if *metrics {
+		printMetrics(os.Stderr, summary, *parallel)
+	}
 	return nil
+}
+
+// printMetrics writes the per-job summary table. It goes to stderr so that
+// stdout stays byte-identical across -parallel values even with -metrics.
+func printMetrics(w io.Writer, results []runner.Result[*figures.Table], workers int) {
+	fmt.Fprintf(w, "experiments: per-job metrics (%d workers; alloc is approximate under parallelism)\n", workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\twall\tsim_events\talloc_MB")
+	var (
+		totalWall   time.Duration
+		totalEvents uint64
+		totalAlloc  uint64
+	)
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.1f\n",
+			r.ID, r.Metrics.Wall.Round(time.Millisecond), r.Metrics.Events,
+			float64(r.Metrics.AllocBytes)/(1<<20))
+		totalWall += r.Metrics.Wall
+		totalEvents += r.Metrics.Events
+		totalAlloc += r.Metrics.AllocBytes
+	}
+	fmt.Fprintf(tw, "total (cpu)\t%v\t%d\t%.1f\n",
+		totalWall.Round(time.Millisecond), totalEvents, float64(totalAlloc)/(1<<20))
+	tw.Flush() //nolint:errcheck // best-effort diagnostics
 }

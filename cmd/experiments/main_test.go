@@ -74,4 +74,32 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-notaflag"}); err == nil {
 		t.Error("bad flag accepted")
 	}
+	if err := run([]string{"-parallel", "0"}); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+	if err := run([]string{"-format", "csv"}); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+// Parallelism must never change stdout: simulations are deterministic from
+// their seeds and tables are emitted in submission order.
+func TestRunParallelOutputMatchesSerial(t *testing.T) {
+	for _, fig := range []string{"fig17", "ext-regime"} {
+		serial, err := captureStdout(t, func() error {
+			return run([]string{"-scale", "small", "-only", fig, "-parallel", "1"})
+		})
+		if err != nil {
+			t.Fatalf("%s serial: %v", fig, err)
+		}
+		par, err := captureStdout(t, func() error {
+			return run([]string{"-scale", "small", "-only", fig, "-parallel", "4", "-metrics"})
+		})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", fig, err)
+		}
+		if serial != par {
+			t.Errorf("%s: parallel stdout differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", fig, serial, par)
+		}
+	}
 }

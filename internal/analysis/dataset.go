@@ -8,6 +8,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"cdnconsistency/internal/trace"
@@ -33,7 +34,10 @@ type Dataset struct {
 	// order, for "next snapshot" lookups.
 	alphaOrder [][]int
 
-	// episodeCache memoizes PerServerInconsistency per day.
+	// episodeCache memoizes PerServerInconsistency per day. episodeMu
+	// guards it: a Dataset is otherwise read-only after NewDataset, and
+	// the figure generators read one concurrently.
+	episodeMu    sync.Mutex
 	episodeCache []map[string][]float64
 }
 
@@ -290,6 +294,8 @@ func (d *Dataset) PerServerInconsistency(day int) (map[string][]float64, error) 
 	if err := d.checkDay(day); err != nil {
 		return nil, err
 	}
+	d.episodeMu.Lock()
+	defer d.episodeMu.Unlock()
 	if d.episodeCache == nil {
 		d.episodeCache = make([]map[string][]float64, d.Days())
 	}

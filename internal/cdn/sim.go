@@ -113,6 +113,12 @@ type simulation struct {
 }
 
 func newSimulation(cfg Config) (*simulation, error) {
+	if len(cfg.Updates) == 0 {
+		// Without at least one publication there is no horizon to run to
+		// (and no snapshot to disseminate); indexing the schedule below
+		// would panic.
+		return nil, fmt.Errorf("cdn: no updates configured")
+	}
 	topo := cfg.Topo
 	if topo == nil {
 		var err error
@@ -417,13 +423,16 @@ func (s *simulation) failServer(v int) {
 		return
 	}
 	nd.down = true
-	if !s.cfg.RepairTree {
-		return
-	}
+	// A downed server must never be counted live again: leaving alive[v]
+	// set would let a later repair adopt orphans under the dead node (and
+	// TotalEdgeKm/Validate would still count it). tree.Remove clears the
+	// flag itself on entry; every other path clears it here.
+	//
 	// Tree repair only applies to degree-bounded multicast trees; the
 	// unicast star and hybrid stars have no relaying role to repair
 	// (children of the star root are leaves).
-	if s.cfg.Infra != consistency.InfraMulticast {
+	if !s.cfg.RepairTree || s.cfg.Infra != consistency.InfraMulticast {
+		s.alive[v] = false
 		return
 	}
 	if err := s.tree.Remove(v, s.locs, s.cfg.TreeDegree, s.alive); err != nil {

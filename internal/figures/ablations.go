@@ -24,18 +24,25 @@ func AblationQueue(scale SimScale) (*Table, error) {
 		Note:   "queuing on reproduces Figure 19's Push degradation; off flattens it",
 		Header: []string{"queuing", "push_mean_s"},
 	}
-	for _, disable := range []bool{false, true} {
+	toggles := []bool{false, true}
+	results, err := collectRuns(t, scale.Parallel, len(toggles), func(i int) (*cdn.Result, error) {
 		res, err := core.Run(core.SystemPush, scale.opts(
 			core.WithUpdateSizeKB(500),
-			core.WithNetConfig(netmodel.Config{DefaultUplinkKBps: 2000, DisableQueuing: disable}))...)
+			core.WithNetConfig(netmodel.Config{DefaultUplinkKBps: 2000, DisableQueuing: toggles[i]}))...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: ablation-queue: %w", err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, disable := range toggles {
 		label := "on"
 		if disable {
 			label = "off"
 		}
-		t.AddRow(label, f3(res.MeanServerInconsistency()))
+		t.AddRow(label, f3(results[i].MeanServerInconsistency()))
 	}
 	return t, nil
 }
@@ -81,13 +88,21 @@ func AblationAdaptive(scale SimScale) (*Table, error) {
 		Note:   "Section 5.1: prediction mishandles abrupt silence/burst changes; the switch does not",
 		Header: []string{"method", "update_msgs", "server_mean_s"},
 	}
-	for _, m := range []consistency.Method{consistency.MethodSelfAdaptive, consistency.MethodAdaptiveTTL, consistency.MethodTTL} {
+	methods := []consistency.Method{consistency.MethodSelfAdaptive, consistency.MethodAdaptiveTTL, consistency.MethodTTL}
+	results, err := collectRuns(t, scale.Parallel, len(methods), func(i int) (*cdn.Result, error) {
+		m := methods[i]
 		res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: consistency.InfraUnicast},
 			scale.opts(core.WithServerTTL(60*time.Second))...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: ablation-adaptive: %w", err)
 		}
-		t.AddRow(m.String(), d0(res.UpdateMsgsToServers), f3(res.MeanServerInconsistency()))
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range methods {
+		t.AddRow(m.String(), d0(results[i].UpdateMsgsToServers), f3(results[i].MeanServerInconsistency()))
 	}
 	return t, nil
 }
@@ -150,20 +165,27 @@ func AblationFailure(scale SimScale) (*Table, error) {
 		Note:   "larger d -> shallower tree -> less TTL amplification (Section 4 d-ary remark)",
 		Header: []string{"degree", "depth", "ttl_mean_s"},
 	}
-	for _, d := range []int{2, 4, 8} {
+	degrees := []int{2, 4, 8}
+	results, err := collectRuns(t, scale.Parallel, len(degrees), func(i int) (*cdn.Result, error) {
 		res, err := runWith(cdn.Config{
 			Method:   consistency.MethodTTL,
 			Infra:    consistency.InfraMulticast,
 			Topology: topologyConfig(scale),
 			// Updates default to a DefaultGame draw with this seed.
-			TreeDegree: d,
+			TreeDegree: degrees[i],
 			ServerTTL:  scale.ServerTTL,
 			Seed:       scale.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("figures: ablation-depth: %w", err)
 		}
-		t.AddRow(d0(d), d0(res.TreeDepth), f3(res.MeanServerInconsistency()))
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range degrees {
+		t.AddRow(d0(d), d0(results[i].TreeDepth), f3(results[i].MeanServerInconsistency()))
 	}
 	return t, nil
 }

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"cdnconsistency/internal/catalog"
+	"cdnconsistency/internal/cdn"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/runner"
 	"cdnconsistency/internal/topology"
 )
 
@@ -24,16 +26,21 @@ func ExtBroadcast(scale SimScale) (*Table, error) {
 		Note:   "paper Section 1: broadcast cannot scale due to an overwhelming number of redundant update messages",
 		Header: []string{"system", "update_msgs", "server_mean_s"},
 	}
-	push, err := core.Run(core.SystemPush, scale.opts()...)
-	if err != nil {
-		return nil, fmt.Errorf("figures: ext-broadcast: %w", err)
+	systems := []core.System{
+		core.SystemPush,
+		{Name: "Broadcast", Method: consistency.MethodPush, Infra: consistency.InfraBroadcast},
 	}
-	bcast, err := core.Run(core.System{
-		Name: "Broadcast", Method: consistency.MethodPush, Infra: consistency.InfraBroadcast,
-	}, scale.opts()...)
+	results, err := collectRuns(t, scale.Parallel, len(systems), func(i int) (*cdn.Result, error) {
+		res, err := core.Run(systems[i], scale.opts()...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-broadcast: %w", err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figures: ext-broadcast: %w", err)
+		return nil, err
 	}
+	push, bcast := results[0], results[1]
 	t.AddRow("Push/unicast", d0(push.UpdateMsgsToServers), f3(push.MeanServerInconsistency()))
 	t.AddRow("Push/broadcast", d0(bcast.UpdateMsgsToServers), f3(bcast.MeanServerInconsistency()))
 	t.AddRow("# msg_blowup_x", f1(float64(bcast.UpdateMsgsToServers)/float64(push.UpdateMsgsToServers)), "")
@@ -50,13 +57,21 @@ func ExtTreeFailure(scale SimScale) (*Table, error) {
 		Header: []string{"repair", "failed", "live_at_final", "live", "final_frac"},
 	}
 	failures := scale.Servers / 8
-	for _, repair := range []bool{false, true} {
+	repairs := []bool{false, true}
+	results, err := collectRuns(t, scale.Parallel, len(repairs), func(i int) (*cdn.Result, error) {
 		res, err := core.Run(core.System{
 			Name: "Push", Method: consistency.MethodPush, Infra: consistency.InfraMulticast,
-		}, scale.opts(core.WithFailures(failures, repair))...)
+		}, scale.opts(core.WithFailures(failures, repairs[i]))...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: ext-tree-failure: %w", err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, repair := range repairs {
+		res := results[i]
 		label := "off"
 		if repair {
 			label = "on"
@@ -80,18 +95,27 @@ func ExtLease(scale SimScale) (*Table, error) {
 		Note:   "leases track Push while content is visited and decay to demand-driven renewals when idle",
 		Header: []string{"system", "users_per_server", "update_msgs", "server_mean_s"},
 	}
-	for _, users := range []int{scale.UsersPerServer, 0} {
-		for _, sys := range []core.System{
-			{Name: "Lease", Method: consistency.MethodLease, Infra: consistency.InfraUnicast},
-			core.SystemPush,
-			core.SystemTTL,
-		} {
-			res, err := core.Run(sys, scale.opts(
-				core.WithUsersPerServer(users),
-				core.WithLeaseDuration(60*time.Second))...)
-			if err != nil {
-				return nil, fmt.Errorf("figures: ext-lease: %w", err)
-			}
+	userCounts := []int{scale.UsersPerServer, 0}
+	systems := []core.System{
+		{Name: "Lease", Method: consistency.MethodLease, Infra: consistency.InfraUnicast},
+		core.SystemPush,
+		core.SystemTTL,
+	}
+	results, err := collectRuns(t, scale.Parallel, len(userCounts)*len(systems), func(i int) (*cdn.Result, error) {
+		res, err := core.Run(systems[i%len(systems)], scale.opts(
+			core.WithUsersPerServer(userCounts[i/len(systems)]),
+			core.WithLeaseDuration(60*time.Second))...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-lease: %w", err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ui, users := range userCounts {
+		for si, sys := range systems {
+			res := results[ui*len(systems)+si]
 			t.AddRow(sys.Name, d0(users), d0(res.UpdateMsgsToServers), f3(res.MeanServerInconsistency()))
 		}
 	}
@@ -119,20 +143,30 @@ func ExtRegime(scale SimScale) (*Table, error) {
 		{"hot", 4, 10 * time.Second, 60 * time.Second},
 		{"cold", 1, 3 * time.Minute, 5 * time.Second},
 	}
-	for _, sc := range scenarios {
+	methods := []consistency.Method{
+		consistency.MethodRegime, consistency.MethodPush,
+		consistency.MethodInvalidation, consistency.MethodTTL,
+	}
+	results, err := collectRuns(t, scale.Parallel, len(scenarios)*len(methods), func(i int) (*cdn.Result, error) {
+		sc := scenarios[i/len(methods)]
+		m := methods[i%len(methods)]
 		game := workloadSingle(30*time.Minute, sc.meanGap)
-		for _, m := range []consistency.Method{
-			consistency.MethodRegime, consistency.MethodPush,
-			consistency.MethodInvalidation, consistency.MethodTTL,
-		} {
-			res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: consistency.InfraUnicast},
-				scale.opts(
-					core.WithUsersPerServer(sc.users),
-					core.WithUserTTL(sc.userTTL),
-					core.WithGame(game))...)
-			if err != nil {
-				return nil, fmt.Errorf("figures: ext-regime: %w", err)
-			}
+		res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: consistency.InfraUnicast},
+			scale.opts(
+				core.WithUsersPerServer(sc.users),
+				core.WithUserTTL(sc.userTTL),
+				core.WithGame(game))...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-regime: %w", err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scenarios {
+		for mi, m := range methods {
+			res := results[si*len(methods)+mi]
 			t.AddRow(sc.name, m.String(), d0(res.UpdateMsgsToServers), f3(res.MeanServerInconsistency()))
 		}
 	}
@@ -171,11 +205,21 @@ func ExtCatalog(scale SimScale) (*Table, error) {
 		{"all-ttl", func(catalog.Content) consistency.Method { return consistency.MethodTTL }},
 		{"all-invalidation", func(catalog.Content) consistency.Method { return consistency.MethodInvalidation }},
 	}
-	for _, f := range fleets {
-		res, err := catalog.RunFleet(cat, f.assign, topoCfg, ttl, scale.Seed)
+	// The four fleets share only read-only inputs (catalog, plan), so
+	// they fan out like any other grid; RunFleet results carry no event
+	// counts, so this uses the runner directly.
+	results, err := runner.Collect(scale.Parallel, len(fleets), func(i int) (*catalog.FleetResult, error) {
+		res, err := catalog.RunFleet(cat, fleets[i].assign, topoCfg, ttl, scale.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("figures: ext-catalog %s: %w", f.name, err)
+			return nil, fmt.Errorf("figures: ext-catalog %s: %w", fleets[i].name, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range fleets {
+		res := results[i]
 		t.AddRow(f.name, f1(res.TotalKB), e2(res.TotalKmKB),
 			f2(res.MeanStaleness), f2(res.WorstBudgetMiss))
 	}
@@ -192,13 +236,21 @@ func ExtDNS(scale SimScale) (*Table, error) {
 		Note:   "paper Section 3.3: expiring resolver entries + authoritative re-assignment redirect ~13-17% of visits onto possibly-stale replicas",
 		Header: []string{"method", "redirect_rate", "user_inconsistent_frac"},
 	}
-	for _, sys := range []core.System{core.SystemPush, core.SystemInvalidation, core.SystemTTL, core.SystemHAT} {
-		res, err := core.Run(sys, scale.opts(
+	systems := []core.System{core.SystemPush, core.SystemInvalidation, core.SystemTTL, core.SystemHAT}
+	results, err := collectRuns(t, scale.Parallel, len(systems), func(i int) (*cdn.Result, error) {
+		res, err := core.Run(systems[i], scale.opts(
 			core.WithDNSRouting(20*time.Second),
 			core.WithServerTTL(60*time.Second))...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: ext-dns: %w", err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		res := results[i]
 		rate := 0.0
 		if res.DNSVisits > 0 {
 			rate = float64(res.DNSRedirects) / float64(res.DNSVisits)

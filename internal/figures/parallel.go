@@ -1,0 +1,24 @@
+package figures
+
+import (
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/runner"
+)
+
+// collectRuns fans n independent simulation runs out over the figure's
+// worker budget (parallel; <= 1 keeps the plain serial loop) and returns
+// the results in index order, accumulating processed-event counts onto the
+// table. Every run builds its own engine and RNG from an explicit seed, so
+// fan-out changes wall-clock time but never a figure's numbers: rows are
+// assembled from the index-ordered results exactly as the serial loops
+// did, keeping the rendered output byte-identical.
+func collectRuns(t *Table, parallel, n int, fn func(i int) (*cdn.Result, error)) ([]*cdn.Result, error) {
+	out, err := runner.Collect(parallel, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range out {
+		t.SimEvents += r.Events
+	}
+	return out, nil
+}

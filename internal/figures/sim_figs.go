@@ -24,6 +24,10 @@ type SimScale struct {
 	// report magnitudes consistent with a 10 s server TTL; Section 5 uses
 	// 60 s.
 	ServerTTL time.Duration
+	// Parallel bounds how many independent simulation runs a figure may
+	// execute concurrently (<= 1 means serial). Each run is deterministic
+	// from its explicit seed, so the setting never changes any number.
+	Parallel int
 }
 
 // DefaultSimScale reproduces the paper's deployment: 170 nodes, 5 users
@@ -85,11 +89,19 @@ func methodInfraTable(id, title, note string, scale SimScale, infra consistency.
 		ID: id, Title: title, Note: note,
 		Header: []string{"method", "server_mean_s", "server_p5/med/p95", "user_mean_s", "user_p5/med/p95"},
 	}
-	for _, sys := range section4Systems {
+	results, err := collectRuns(t, scale.Parallel, len(section4Systems), func(i int) (*cdn.Result, error) {
+		sys := section4Systems[i]
 		res, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: infra}, scale.opts()...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: %s: %w", id, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range section4Systems {
+		res := results[i]
 		ss, _ := stats.Summarize(res.ServerAvgInconsistency)
 		us, _ := stats.Summarize(res.UserAvgInconsistency)
 		t.AddRow(sys.name,
@@ -100,6 +112,9 @@ func methodInfraTable(id, title, note string, scale SimScale, infra consistency.
 	}
 	return t, nil
 }
+
+// bothInfras is the unicast/multicast sweep axis several figures share.
+var bothInfras = []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast}
 
 // Fig14 regenerates Figure 14: per-server and per-user inconsistency in the
 // unicast infrastructure.
@@ -128,17 +143,16 @@ func Fig16(scale SimScale) (*Table, error) {
 		Note:   "multicast saves >= 2.8e7 km*KB over unicast for every method; Push < Invalidation < TTL",
 		Header: []string{"method", "unicast_kmKB", "multicast_kmKB", "saving_kmKB"},
 	}
-	for _, sys := range section4Systems {
-		uni, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: consistency.InfraUnicast}, scale.opts()...)
-		if err != nil {
-			return nil, err
-		}
-		multi, err := core.Run(core.System{Name: sys.name, Method: sys.method, Infra: consistency.InfraMulticast}, scale.opts()...)
-		if err != nil {
-			return nil, err
-		}
-		u := uni.Accounting.Total().KmKB
-		m := multi.Accounting.Total().KmKB
+	results, err := collectRuns(t, scale.Parallel, len(section4Systems)*len(bothInfras), func(i int) (*cdn.Result, error) {
+		sys := section4Systems[i/len(bothInfras)]
+		return core.Run(core.System{Name: sys.name, Method: sys.method, Infra: bothInfras[i%len(bothInfras)]}, scale.opts()...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sys := range section4Systems {
+		u := results[si*2].Accounting.Total().KmKB
+		m := results[si*2+1].Accounting.Total().KmKB
 		t.AddRow(sys.name, e2(u), e2(m), e2(u-m))
 	}
 	return t, nil
@@ -152,15 +166,19 @@ func Fig17(scale SimScale) (*Table, error) {
 		Note:   "cost decreases with TTL in both infrastructures",
 		Header: []string{"ttl_s", "unicast_kmKB", "multicast_kmKB"},
 	}
-	for ttl := 10; ttl <= 60; ttl += 10 {
+	ttls := []int{10, 20, 30, 40, 50, 60}
+	results, err := collectRuns(t, scale.Parallel, len(ttls)*len(bothInfras), func(i int) (*cdn.Result, error) {
+		ttl := ttls[i/len(bothInfras)]
+		return core.Run(core.System{Name: "TTL", Method: consistency.MethodTTL, Infra: bothInfras[i%len(bothInfras)]},
+			scale.opts(core.WithServerTTL(time.Duration(ttl)*time.Second))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, ttl := range ttls {
 		row := []string{d0(ttl)}
-		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
-			res, err := core.Run(core.System{Name: "TTL", Method: consistency.MethodTTL, Infra: infra},
-				scale.opts(core.WithServerTTL(time.Duration(ttl)*time.Second))...)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, e2(res.Accounting.Total().KmKB))
+		for ii := range bothInfras {
+			row = append(row, e2(results[ti*len(bothInfras)+ii].Accounting.Total().KmKB))
 		}
 		t.AddRow(row...)
 	}
@@ -175,18 +193,20 @@ func Fig18(scale SimScale) (*Table, error) {
 		Note:   "inconsistency grows and traffic cost falls as end-user TTL grows, both infrastructures",
 		Header: []string{"user_ttl_s", "infra", "server_p5/med/p95_s", "kmKB"},
 	}
-	for _, userTTL := range []int{10, 30, 60, 90, 120} {
-		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
-			res, err := core.Run(core.System{Name: "Invalidation", Method: consistency.MethodInvalidation, Infra: infra},
-				scale.opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
-			if err != nil {
-				return nil, err
-			}
-			s, _ := stats.Summarize(res.ServerAvgInconsistency)
-			t.AddRow(d0(userTTL), infra.String(),
-				fmt.Sprintf("%.2f/%.2f/%.2f", s.P5, s.Median, s.P95),
-				e2(res.Accounting.Total().KmKB))
-		}
+	userTTLs := []int{10, 30, 60, 90, 120}
+	results, err := collectRuns(t, scale.Parallel, len(userTTLs)*len(bothInfras), func(i int) (*cdn.Result, error) {
+		userTTL := userTTLs[i/len(bothInfras)]
+		return core.Run(core.System{Name: "Invalidation", Method: consistency.MethodInvalidation, Infra: bothInfras[i%len(bothInfras)]},
+			scale.opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		s, _ := stats.Summarize(res.ServerAvgInconsistency)
+		t.AddRow(d0(userTTLs[i/len(bothInfras)]), bothInfras[i%len(bothInfras)].String(),
+			fmt.Sprintf("%.2f/%.2f/%.2f", s.P5, s.Median, s.P95),
+			e2(res.Accounting.Total().KmKB))
 	}
 	return t, nil
 }
@@ -201,16 +221,24 @@ func Fig19(scale SimScale) (*Table, error) {
 		Header: []string{"size_kb", "infra", "push_s", "invalidation_s", "ttl_s"},
 	}
 	net := netmodel.Config{DefaultUplinkKBps: 2000}
-	for _, size := range []float64{1, 100, 500} {
-		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+	sizes := []float64{1, 100, 500}
+	methods := []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL}
+	perSize := len(bothInfras) * len(methods)
+	results, err := collectRuns(t, scale.Parallel, len(sizes)*perSize, func(i int) (*cdn.Result, error) {
+		size := sizes[i/perSize]
+		infra := bothInfras[(i/len(methods))%len(bothInfras)]
+		m := methods[i%len(methods)]
+		return core.Run(core.System{Name: m.String(), Method: m, Infra: infra},
+			scale.opts(core.WithUpdateSizeKB(size), core.WithNetConfig(net))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, size := range sizes {
+		for ii, infra := range bothInfras {
 			row := []string{f1(size), infra.String()}
-			for _, sys := range []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL} {
-				res, err := core.Run(core.System{Name: sys.String(), Method: sys, Infra: infra},
-					scale.opts(core.WithUpdateSizeKB(size), core.WithNetConfig(net))...)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f3(res.MeanServerInconsistency()))
+			for mi := range methods {
+				row = append(row, f3(results[si*perSize+ii*len(methods)+mi].MeanServerInconsistency()))
 			}
 			t.AddRow(row...)
 		}
@@ -227,18 +255,25 @@ func Fig20(scale SimScale) (*Table, error) {
 		Header: []string{"servers", "infra", "push_s", "invalidation_s", "ttl_s"},
 	}
 	base := scale.Servers
-	for mult := 1; mult <= 5; mult++ {
-		n := base * mult
-		for _, infra := range []consistency.Infra{consistency.InfraUnicast, consistency.InfraMulticast} {
+	sizesN := []int{base, base * 2, base * 3, base * 4, base * 5}
+	methods := []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL}
+	perSize := len(bothInfras) * len(methods)
+	results, err := collectRuns(t, scale.Parallel, len(sizesN)*perSize, func(i int) (*cdn.Result, error) {
+		n := sizesN[i/perSize]
+		infra := bothInfras[(i/len(methods))%len(bothInfras)]
+		m := methods[i%len(methods)]
+		return core.Run(core.System{Name: m.String(), Method: m, Infra: infra},
+			scale.opts(core.WithServers(n),
+				core.WithNetConfig(netmodel.Config{DefaultUplinkKBps: 2000}))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range sizesN {
+		for ii, infra := range bothInfras {
 			row := []string{d0(n), infra.String()}
-			for _, m := range []consistency.Method{consistency.MethodPush, consistency.MethodInvalidation, consistency.MethodTTL} {
-				res, err := core.Run(core.System{Name: m.String(), Method: m, Infra: infra},
-					scale.opts(core.WithServers(n),
-						core.WithNetConfig(netmodel.Config{DefaultUplinkKBps: 2000}))...)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f3(res.MeanServerInconsistency()))
+			for mi := range methods {
+				row = append(row, f3(results[ni*perSize+ii*len(methods)+mi].MeanServerInconsistency()))
 			}
 			t.AddRow(row...)
 		}
@@ -274,25 +309,35 @@ func Fig22(scale SimScale) (*Table, error) {
 		Note:   "Push > Invalidation > Hybrid ~ TTL > HAT > Self; provider load lightest for Hybrid/HAT",
 		Header: []string{"series", "x_s", "Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"},
 	}
-	for _, userTTL := range []int{10, 30, 60} {
+	systems := core.Systems()
+	userTTLs := []int{10, 30, 60}
+	srvTTLs := []int{20, 40, 60}
+	// One grid over both panels: indices < len(userTTLs)*len(systems)
+	// sweep the end-user TTL (22a), the rest the content-server TTL (22b).
+	aJobs := len(userTTLs) * len(systems)
+	results, err := collectRuns(t, scale.Parallel, aJobs+len(srvTTLs)*len(systems), func(i int) (*cdn.Result, error) {
+		if i < aJobs {
+			userTTL := userTTLs[i/len(systems)]
+			return core.Run(systems[i%len(systems)], scale.section5Opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
+		}
+		j := i - aJobs
+		srvTTL := srvTTLs[j/len(systems)]
+		return core.Run(systems[j%len(systems)], scale.section5Opts(core.WithServerTTL(time.Duration(srvTTL)*time.Second))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, userTTL := range userTTLs {
 		row := []string{"22a_msgs_to_servers", d0(userTTL)}
-		for _, sys := range core.Systems() {
-			res, err := core.Run(sys, scale.section5Opts(core.WithUserTTL(time.Duration(userTTL)*time.Second))...)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, d0(res.UpdateMsgsToServers))
+		for si := range systems {
+			row = append(row, d0(results[ti*len(systems)+si].UpdateMsgsToServers))
 		}
 		t.AddRow(row...)
 	}
-	for _, srvTTL := range []int{20, 40, 60} {
+	for ti, srvTTL := range srvTTLs {
 		row := []string{"22b_msgs_from_provider", d0(srvTTL)}
-		for _, sys := range core.Systems() {
-			res, err := core.Run(sys, scale.section5Opts(core.WithServerTTL(time.Duration(srvTTL)*time.Second))...)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, d0(res.UpdateMsgsFromProvider))
+		for si := range systems {
+			row = append(row, d0(results[aJobs+ti*len(systems)+si].UpdateMsgsFromProvider))
 		}
 		t.AddRow(row...)
 	}
@@ -308,13 +353,16 @@ func Fig23(scale SimScale) (*Table, error) {
 		Note:   "HAT carries the lightest total load; TTL-family methods add light-message load for polling",
 		Header: []string{"system", "update_km", "light_km", "total_km"},
 	}
-	for _, sys := range core.Systems() {
-		res, err := core.Run(sys, scale.section5Opts()...)
-		if err != nil {
-			return nil, err
-		}
-		up := res.Accounting.ByClass[netmodel.ClassUpdate].Km
-		light := res.Accounting.ByClass[netmodel.ClassLight].Km
+	systems := core.Systems()
+	results, err := collectRuns(t, scale.Parallel, len(systems), func(i int) (*cdn.Result, error) {
+		return core.Run(systems[i], scale.section5Opts()...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		up := results[i].Accounting.ByClass[netmodel.ClassUpdate].Km
+		light := results[i].Accounting.ByClass[netmodel.ClassLight].Km
 		t.AddRow(sys.Name, e2(up), e2(light), e2(up+light))
 	}
 	return t, nil
@@ -329,16 +377,21 @@ func Fig24(scale SimScale) (*Table, error) {
 		Note:   "TTL ~ Hybrid > HAT > Self > Push ~ Invalidation ~ 0; decreasing in end-user TTL",
 		Header: []string{"user_ttl_s", "Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"},
 	}
-	for _, userTTL := range []int{10, 30, 60} {
+	systems := core.Systems()
+	userTTLs := []int{10, 30, 60}
+	results, err := collectRuns(t, scale.Parallel, len(userTTLs)*len(systems), func(i int) (*cdn.Result, error) {
+		userTTL := userTTLs[i/len(systems)]
+		return core.Run(systems[i%len(systems)], scale.section5Opts(
+			core.WithUserTTL(time.Duration(userTTL)*time.Second),
+			core.WithUserSwitching())...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, userTTL := range userTTLs {
 		row := []string{d0(userTTL)}
-		for _, sys := range core.Systems() {
-			res, err := core.Run(sys, scale.section5Opts(
-				core.WithUserTTL(time.Duration(userTTL)*time.Second),
-				core.WithUserSwitching())...)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f4(res.InconsistentObservationFrac()))
+		for si := range systems {
+			row = append(row, f4(results[ti*len(systems)+si].InconsistentObservationFrac()))
 		}
 		t.AddRow(row...)
 	}

@@ -20,6 +20,11 @@ type Table struct {
 	Note   string
 	Header []string
 	Rows   [][]string
+	// SimEvents counts the discrete-simulation events behind the table,
+	// when the generator reports them (sim-driven figures only). It is
+	// not rendered; the experiments harness surfaces it in the -metrics
+	// summary.
+	SimEvents uint64
 }
 
 // AddRow appends a formatted row.

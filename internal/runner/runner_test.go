@@ -1,0 +1,282 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// job builds a trivial job returning its own id.
+func job(id string, fn func(m *Metrics) (string, error)) Job[string] {
+	return Job[string]{ID: id, Run: fn}
+}
+
+func TestAllPreservesSubmissionOrder(t *testing.T) {
+	const n = 50
+	jobs := make([]Job[int], n)
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) {
+			time.Sleep(delays[i]) // scramble completion order
+			return i * i, nil
+		}}
+	}
+	results := All(jobs, Options{Workers: 8})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Errorf("result %d = %d, want %d", i, r.Value, i*i)
+		}
+	}
+}
+
+func TestForEachOrderedEmitsInOrderAndStreams(t *testing.T) {
+	const n = 20
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) { return i, nil }}
+	}
+	var got []int
+	err := ForEachOrdered(jobs, Options{Workers: 4}, func(i int, r Result[int]) error {
+		got = append(got, r.Value)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emission order broken at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestPanicIsCapturedNotFatal(t *testing.T) {
+	jobs := []Job[string]{
+		job("ok", func(*Metrics) (string, error) { return "fine", nil }),
+		job("boom", func(*Metrics) (string, error) { panic("kaboom") }),
+		job("also-ok", func(*Metrics) (string, error) { return "fine too", nil }),
+	}
+	results := All(jobs, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	r := results[1]
+	if r.Err == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("error is %T, want *PanicError", r.Err)
+	}
+	if pe.JobID != "boom" || fmt.Sprint(pe.Value) != "kaboom" {
+		t.Errorf("panic error = %q/%v", pe.JobID, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(r.Err.Error(), "kaboom") {
+		t.Errorf("panic error lacks stack or message: %v", r.Err)
+	}
+	if !r.Metrics.Panicked {
+		t.Error("Metrics.Panicked not set")
+	}
+}
+
+func TestFailFastSkipsLaterJobs(t *testing.T) {
+	const n = 64
+	var started atomic.Int32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, errors.New("deliberate")
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}}
+	}
+	results := All(jobs, Options{Workers: 2, FailFast: true})
+	if got := started.Load(); got == n {
+		t.Errorf("fail-fast started all %d jobs", n)
+	}
+	if results[3].Err == nil || results[3].Err.Error() != "deliberate" {
+		t.Errorf("failing job error = %v", results[3].Err)
+	}
+	var skipped int
+	for _, r := range results {
+		if errors.Is(r.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("no jobs were skipped")
+	}
+}
+
+func TestContinueOnErrorRunsEverything(t *testing.T) {
+	const n = 16
+	var started atomic.Int32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) {
+			started.Add(1)
+			if i%4 == 0 {
+				return 0, errors.New("deliberate")
+			}
+			return i, nil
+		}}
+	}
+	results := All(jobs, Options{Workers: 4})
+	if got := started.Load(); got != n {
+		t.Errorf("started %d jobs, want %d", got, n)
+	}
+	for i, r := range results {
+		wantErr := i%4 == 0
+		if (r.Err != nil) != wantErr {
+			t.Errorf("job %d err = %v, want error=%v", i, r.Err, wantErr)
+		}
+	}
+}
+
+func TestEmitErrorStopsAndReturns(t *testing.T) {
+	const n = 32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) { return i, nil }}
+	}
+	sentinel := errors.New("stop here")
+	var emitted int
+	err := ForEachOrdered(jobs, Options{Workers: 4}, func(i int, r Result[int]) error {
+		emitted++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if emitted != 3 {
+		t.Errorf("emitted %d results after abort, want 3", emitted)
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	jobs := []Job[string]{
+		job("metered", func(m *Metrics) (string, error) {
+			m.AddEvents(123)
+			m.AddEvents(77)
+			time.Sleep(2 * time.Millisecond)
+			_ = make([]byte, 1<<20)
+			return "done", nil
+		}),
+	}
+	r := All(jobs, Options{Workers: 1})[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Metrics.Events != 200 {
+		t.Errorf("Events = %d, want 200", r.Metrics.Events)
+	}
+	if r.Metrics.Wall < 2*time.Millisecond {
+		t.Errorf("Wall = %v, want >= 2ms", r.Metrics.Wall)
+	}
+	if r.Metrics.AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= 1MiB", r.Metrics.AllocBytes)
+	}
+}
+
+func TestCollectMatchesSerialLoop(t *testing.T) {
+	fn := func(i int) (int, error) { return i * 3, nil }
+	const n = 25
+	want := make([]int, n)
+	for i := range want {
+		want[i], _ = fn(i)
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Collect(workers, n, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCollectReturnsLowestIndexError(t *testing.T) {
+	fn := func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Collect(workers, 20, fn)
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Errorf("workers=%d: err = %v, want job 7's error", workers, err)
+		}
+	}
+}
+
+func TestCollectZeroAndNegative(t *testing.T) {
+	out, err := Collect(4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Collect(4, -1, func(i int) (int, error) { return i, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestDefaultWorkersAndConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	jobs := make([]Job[int], 24)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprint(i), Run: func(*Metrics) (int, error) {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return i, nil
+		}}
+	}
+	All(jobs, Options{Workers: workers})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+	// Workers <= 0 must still run everything (GOMAXPROCS default).
+	results := All(jobs, Options{})
+	for i, r := range results {
+		if r.Err != nil || r.Value != i {
+			t.Fatalf("default-workers job %d: %v %v", i, r.Value, r.Err)
+		}
+	}
+}

@@ -173,8 +173,7 @@ func (e *Engine) Run(horizon time.Duration) error {
 }
 
 // Every schedules h to run now+d, then every d thereafter, until the
-// returned stop function is called or pred (if non-nil) returns false.
-// The period must be positive.
+// returned stop function is called. The period must be positive.
 func (e *Engine) Every(d time.Duration, h Handler) (stop func(), err error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("sim: non-positive period %v", d)
