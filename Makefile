@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments
+.PHONY: check build vet test race bench experiments fuzz
 
 check: build vet race
 
@@ -24,3 +24,9 @@ bench:
 # Fast full regeneration pass; see EXPERIMENTS.md for the paper-scale run.
 experiments:
 	$(GO) run ./cmd/experiments -scale small -metrics
+
+# Short fuzz smoke over the tree fail/recover repair and the fault-scenario
+# compiler (one -fuzz pattern per package run, as go test requires).
+fuzz:
+	$(GO) test ./internal/overlay -run '^$$' -fuzz FuzzTreeFailRecover -fuzztime 10s
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzCompile -fuzztime 10s

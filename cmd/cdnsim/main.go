@@ -6,18 +6,22 @@
 // Usage:
 //
 //	cdnsim -method TTL -infra Unicast -servers 170 -users 5
-//	cdnsim -system HAT            # one of the paper's named systems
+//	cdnsim -system HAT                     # one of the paper's named systems
+//	cdnsim -system TTL -faults churn -failover
+//	cdnsim -faults @scenario.json          # hand-written fault spec
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cdnconsistency/internal/cdn"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/stats"
 )
 
@@ -42,6 +46,8 @@ func run(args []string) error {
 		clusters  = fs.Int("clusters", 20, "hybrid cluster count")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		switching = fs.Bool("switch", false, "users switch servers every visit (Figure 24 scenario)")
+		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
+		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +69,16 @@ func run(args []string) error {
 	}
 	if *switching {
 		opts = append(opts, core.WithUserSwitching())
+	}
+	if *faults != "" {
+		spec, err := resolveFaults(*faults)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithFaults(spec))
+	}
+	if *failover {
+		opts = append(opts, core.WithFailover())
 	}
 	res, err := core.Run(sys, opts...)
 	if err != nil {
@@ -111,6 +127,19 @@ func resolveSystem(system, method, infra string) (core.System, error) {
 	return core.System{Name: method + "/" + infra, Method: m, Infra: inf}, nil
 }
 
+// resolveFaults maps the -faults flag to a spec: "@path" loads a JSON
+// scenario file, anything else is a built-in scenario name.
+func resolveFaults(arg string) (fault.Spec, error) {
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fault.Spec{}, err
+		}
+		return fault.ParseSpec(data)
+	}
+	return fault.Scenario(arg)
+}
+
 func printResult(sys core.System, res *cdn.Result) {
 	fmt.Printf("system\t%s (%v on %v)\n", sys.Name, sys.Method, sys.Infra)
 	fmt.Printf("tree_depth\t%d\n", res.TreeDepth)
@@ -135,5 +164,14 @@ func printResult(sys core.System, res *cdn.Result) {
 		fmt.Printf("traffic_%v\tmsgs=%d km=%.0f kmKB=%.0f\n", class, tot.Messages, tot.Km, tot.KmKB)
 	}
 	fmt.Printf("user_inconsistent_observation_frac\t%.4f\n", res.InconsistentObservationFrac())
+	if res.Crashes > 0 || res.FailedVisits > 0 || res.StaleObservations > 0 {
+		fmt.Printf("crashes\t%d recovered=%d mean_recovery_s=%.1f\n",
+			res.Crashes, res.Recoveries, res.MeanRecoverySeconds())
+		fmt.Printf("failed_visits\t%d frac=%.4f user_failovers=%d\n",
+			res.FailedVisits, res.FailedVisitFrac(), res.UserFailovers)
+		fmt.Printf("stale_serve_frac\t%.4f\n", res.StaleServeFrac())
+		fmt.Printf("failover_actions\treparents=%d ttl_fallbacks=%d\n",
+			res.ServerReparents, res.TTLFallbacks)
+	}
 	fmt.Printf("events\t%d\n", res.Events)
 }

@@ -23,10 +23,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
 
+	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/figures"
 	"cdnconsistency/internal/runner"
 )
@@ -46,6 +48,7 @@ func run(args []string) error {
 		format    = fs.String("format", "text", "output format: text or markdown")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = serial; output is identical at any value)")
 		metrics   = fs.Bool("metrics", false, "print a per-figure timing/event/allocation summary to stderr")
+		faults    = fs.String("faults", "", "comma-separated fault scenarios to run as fault-<name> figures ("+strings.Join(fault.ScenarioNames(), ", ")+"; \"all\" for every one)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,11 +129,32 @@ func run(args []string) error {
 		simJob("ext-dns", figures.ExtDNS),
 		simJob("ext-regime", figures.ExtRegime),
 		simJob("ext-catalog", figures.ExtCatalog),
+		simJob("ext-faults", figures.ExtFaults),
+		simJob("ext-failover", figures.ExtFailover),
 		simJob("ablation-queue", figures.AblationQueue),
 		simJob("ablation-proximity", figures.AblationProximity),
 		simJob("ablation-adaptive", figures.AblationAdaptive),
 		simJob("ablation-hilbert", figures.AblationHilbert),
 		simJob("ablation-depth", figures.AblationFailure),
+	}
+	if *faults != "" {
+		names := strings.Split(*faults, ",")
+		if *faults == "all" {
+			names = fault.ScenarioNames()
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := fault.Scenario(name); err != nil {
+				return err
+			}
+			n := name
+			jobs = append(jobs, job{id: "fault-" + n, run: func() (*figures.Table, error) {
+				return figures.FaultScenario(simScale, n)
+			}})
+		}
 	}
 
 	var selected []job

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/topology"
 	"cdnconsistency/internal/workload"
@@ -73,15 +74,38 @@ type Config struct {
 	LeaseDuration time.Duration
 
 	// FailServers crash-stops that many randomly chosen servers at random
-	// times in the middle third of the run. Failed servers stop
-	// responding to polls, fetches, pushes and visits. This exercises the
-	// paper's criticism that node failures break multicast-tree
-	// connectivity (Section 1).
+	// times inside the failure window. Failed servers stop responding to
+	// polls, fetches, pushes and visits. This exercises the paper's
+	// criticism that node failures break multicast-tree connectivity
+	// (Section 1).
 	FailServers int
+	// FailWindowStart/FailWindowFrac position the FailServers crash window
+	// as fractions of the horizon: crashes land uniformly in
+	// [FailWindowStart, FailWindowStart+FailWindowFrac] x horizon. Both
+	// zero selects the classic middle third.
+	FailWindowStart float64
+	FailWindowFrac  float64
 	// RepairTree re-attaches a failed node's orphaned children to the
 	// nearest live node (multicast only). Without it the failed node's
-	// subtree stops receiving pushed updates.
+	// subtree stops receiving pushed updates. It also governs whether
+	// crash-recovered servers re-join the multicast tree via Reattach.
 	RepairTree bool
+
+	// Faults optionally injects a declarative fault scenario — crash-stop,
+	// crash-recovery with state loss, provider outage windows, ISP-level
+	// partitions, transient overload, regional failures — compiled
+	// deterministically against this run's topology (see internal/fault).
+	// The compile uses a dedicated RNG stream derived from Seed, so runs
+	// with and without faults share topology and user schedules.
+	Faults *fault.Spec
+	// Failover enables failure-aware protocol reactions: poll/fetch
+	// timeouts trigger bounded retries with exponential backoff, servers
+	// orphaned by a dead relay reparent to the nearest live node, users
+	// re-resolve (DNS) or re-home to the nearest live server after failed
+	// visits, subscribed nodes fall back to TTL polling during provider
+	// outages, and recovering servers retry their re-sync until caught up.
+	// Off by default: protocols ride out faults exactly as before.
+	Failover bool
 
 	Net  netmodel.Config
 	Seed int64
@@ -154,6 +178,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FailServers < 0 {
 		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
 	}
+	if c.FailWindowStart == 0 && c.FailWindowFrac == 0 {
+		c.FailWindowStart, c.FailWindowFrac = 1.0/3, 1.0/3
+	}
+	if c.FailWindowStart < 0 || c.FailWindowStart >= 1 {
+		return c, fmt.Errorf("cdn: FailWindowStart %v outside [0, 1)", c.FailWindowStart)
+	}
+	if c.FailWindowFrac <= 0 || c.FailWindowStart+c.FailWindowFrac > 1 {
+		return c, fmt.Errorf("cdn: failure window [%v, %v+%v] outside (0, 1]",
+			c.FailWindowStart, c.FailWindowStart, c.FailWindowFrac)
+	}
 	if len(c.Updates) == 0 {
 		updates, err := workload.Schedule(workload.DefaultGame(), c.Seed)
 		if err != nil {
@@ -209,6 +243,33 @@ type Result struct {
 	DNSRedirects int
 	// DNSVisits counts visits routed through DNS.
 	DNSVisits int
+
+	// Crashes counts server crash events (a crash-recovering server can
+	// crash more than once); FailedServers above counts servers still down
+	// at the end of the run.
+	Crashes int
+	// Recoveries counts crash-recoveries that re-synced to the provider
+	// version observed at recovery time; RecoverySeconds holds each such
+	// recovery's downtime-to-resync duration.
+	Recoveries      int
+	RecoverySeconds []float64
+	// FailedVisits counts user requests that hit a down server;
+	// UserFailovers counts the re-resolutions/re-homings that followed
+	// (Failover only).
+	FailedVisits  int
+	UserFailovers int
+	// ServerReparents counts detection-triggered tree repairs: a poller
+	// that exhausted its retries against a dead relay parent and moved its
+	// orphan group to the nearest live node (Failover only).
+	ServerReparents int
+	// TTLFallbacks counts subscribed (push/invalidation-regime or
+	// self-adaptive) servers that reverted to TTL polling during a
+	// provider outage (Failover only).
+	TTLFallbacks int
+	// StaleObservations counts user observations older than the newest
+	// published snapshot at observation time — the stale-serve metric the
+	// fault figures report.
+	StaleObservations int
 }
 
 // MeanServerInconsistency averages the per-server means.
@@ -224,6 +285,28 @@ func (r *Result) InconsistentObservationFrac() float64 {
 	}
 	return float64(r.UserInconsistentObservations) / float64(r.UserObservations)
 }
+
+// StaleServeFrac is the share of user observations that served content older
+// than the newest published snapshot.
+func (r *Result) StaleServeFrac() float64 {
+	if r.UserObservations == 0 {
+		return 0
+	}
+	return float64(r.StaleObservations) / float64(r.UserObservations)
+}
+
+// FailedVisitFrac is the share of visits that hit a down server. Failed
+// visits are not observations, so the denominator adds them back.
+func (r *Result) FailedVisitFrac() float64 {
+	total := r.UserObservations + r.FailedVisits
+	if total == 0 {
+		return 0
+	}
+	return float64(r.FailedVisits) / float64(total)
+}
+
+// MeanRecoverySeconds averages the crash-recovery re-sync times.
+func (r *Result) MeanRecoverySeconds() float64 { return mean(r.RecoverySeconds) }
 
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,0 +1,230 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/fault"
+)
+
+func churnSpec(frac float64, downFor time.Duration) *fault.Spec {
+	return &fault.Spec{RandomCrashes: &fault.RandomCrashes{
+		Frac: frac, RecoverAfter: fault.Duration(downFor),
+	}}
+}
+
+func mixedSpec() *fault.Spec {
+	return &fault.Spec{
+		RandomCrashes:   &fault.RandomCrashes{Frac: 0.15, RecoverAfter: fault.Duration(3 * time.Minute)},
+		ProviderOutages: []fault.Window{{StartFrac: 0.7, DurFrac: 0.1}},
+		Partitions:      []fault.Partition{{StartFrac: 0.25, DurFrac: 0.15, RandomISPs: 3}},
+	}
+}
+
+// runSim mirrors Run but keeps the simulation for post-run inspection.
+func runSim(t *testing.T, cfg Config) (*Result, *simulation) {
+	t.Helper()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s
+}
+
+// Property: after an arbitrary churn of crash/recover events on the repaired
+// multicast tree, the end state is coherent — the alive vector agrees with
+// the per-node down flags, no live node hangs under a dead parent, and the
+// tree still validates (acyclic, degree-bounded, consistent child links).
+func TestFaultChurnTreeInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 99} {
+		cfg := baseConfig(t, consistency.MethodTTL, consistency.InfraMulticast)
+		cfg.Seed = seed
+		cfg.Topology.Seed = seed
+		cfg.RepairTree = true
+		cfg.Failover = true
+		cfg.Faults = churnSpec(0.2, 2*time.Minute)
+		res, s := runSim(t, cfg)
+
+		if res.Crashes == 0 {
+			t.Fatalf("seed %d: no crashes injected", seed)
+		}
+		if res.Recoveries != res.Crashes {
+			t.Errorf("seed %d: recoveries = %d, crashes = %d", seed, res.Recoveries, res.Crashes)
+		}
+		for i := 1; i < len(s.nodes); i++ {
+			if s.alive[i] == s.nodes[i].down {
+				t.Errorf("seed %d: node %d alive=%v but down=%v", seed, i, s.alive[i], s.nodes[i].down)
+			}
+			if s.nodes[i].down {
+				continue
+			}
+			if p := s.tree.Parent(i); p > 0 && s.nodes[p].down {
+				t.Errorf("seed %d: live node %d parented under dead node %d", seed, i, p)
+			}
+		}
+		if err := s.tree.Validate(cfg.TreeDegree, s.alive); err != nil {
+			t.Errorf("seed %d: tree invalid after churn: %v", seed, err)
+		}
+	}
+}
+
+// Regression: a crash-recovered server converges back to the provider's
+// content within one server TTL plus propagation slack — the recovery
+// restarts the poll loop immediately rather than waiting out stale state.
+func TestFaultRecoveryConvergesWithinTTL(t *testing.T) {
+	cfg := baseConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+	cfg.Failover = true
+	cfg.Faults = &fault.Spec{Crashes: []fault.Crash{
+		{Server: 5, AtFrac: 0.4, RecoverAfter: fault.Duration(2 * time.Minute)},
+	}}
+	res, _ := runSim(t, cfg)
+
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crashes = %d, recoveries = %d, want 1 and 1", res.Crashes, res.Recoveries)
+	}
+	bound := (cfg.ServerTTL + 30*time.Second).Seconds()
+	if got := res.RecoverySeconds[0]; got > bound {
+		t.Errorf("recovery took %.1fs, want <= %.1fs (one TTL + propagation)", got, bound)
+	}
+}
+
+// End-to-end: failure-aware failover bounds the user-visible damage of a
+// compound fault scenario relative to the ride-it-out baseline with the
+// identical seed, topology, and fault schedule.
+func TestFaultFailoverBoundsUserImpact(t *testing.T) {
+	run := func(failover bool) *Result {
+		cfg := baseConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+		cfg.Faults = mixedSpec()
+		cfg.Failover = failover
+		return mustRun(t, cfg)
+	}
+	off := run(false)
+	on := run(true)
+
+	if off.Crashes != on.Crashes {
+		t.Fatalf("fault schedules diverged: %d vs %d crashes", off.Crashes, on.Crashes)
+	}
+	if on.UserFailovers == 0 {
+		t.Error("failover run performed no user failovers")
+	}
+	if on.FailedVisits >= off.FailedVisits {
+		t.Errorf("failed visits with failover = %d, want < %d (baseline)", on.FailedVisits, off.FailedVisits)
+	}
+	if on.MeanUserInconsistency() > off.MeanUserInconsistency() {
+		t.Errorf("user inconsistency with failover = %.3f, want <= %.3f (baseline)",
+			on.MeanUserInconsistency(), off.MeanUserInconsistency())
+	}
+}
+
+// Identical seeds must give bit-identical faulted runs: the fault schedule
+// draws from its own RNG stream and every reaction is event-driven.
+func TestFaultRunsDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := baseConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+		cfg.Faults = mixedSpec()
+		cfg.Failover = true
+		return mustRun(t, cfg)
+	}
+	a, b := run(), run()
+	if a.Events != b.Events {
+		t.Errorf("events differ: %d vs %d", a.Events, b.Events)
+	}
+	if a.Crashes != b.Crashes || a.Recoveries != b.Recoveries ||
+		a.FailedVisits != b.FailedVisits || a.StaleObservations != b.StaleObservations {
+		t.Errorf("fault counters differ: %+v vs %+v",
+			[4]int{a.Crashes, a.Recoveries, a.FailedVisits, a.StaleObservations},
+			[4]int{b.Crashes, b.Recoveries, b.FailedVisits, b.StaleObservations})
+	}
+	if a.MeanUserInconsistency() != b.MeanUserInconsistency() {
+		t.Errorf("user inconsistency differs: %v vs %v", a.MeanUserInconsistency(), b.MeanUserInconsistency())
+	}
+}
+
+// Every method survives crash-recovery churn with failover: the run
+// completes and each crashed server re-syncs before the horizon.
+func TestFaultChurnAcrossMethods(t *testing.T) {
+	cases := []struct {
+		method consistency.Method
+		infra  consistency.Infra
+	}{
+		{consistency.MethodTTL, consistency.InfraUnicast},
+		{consistency.MethodPush, consistency.InfraUnicast},
+		{consistency.MethodInvalidation, consistency.InfraUnicast},
+		{consistency.MethodSelfAdaptive, consistency.InfraUnicast},
+		{consistency.MethodAdaptiveTTL, consistency.InfraUnicast},
+		{consistency.MethodLease, consistency.InfraUnicast},
+		{consistency.MethodRegime, consistency.InfraUnicast},
+		{consistency.MethodPush, consistency.InfraMulticast},
+		{consistency.MethodTTL, consistency.InfraHybrid},
+		{consistency.MethodSelfAdaptive, consistency.InfraHybrid},
+		{consistency.MethodPush, consistency.InfraBroadcast},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.method.String()+"/"+c.infra.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := baseConfig(t, c.method, c.infra)
+			cfg.Failover = true
+			cfg.Faults = churnSpec(0.1, 90*time.Second)
+			res := mustRun(t, cfg)
+			if res.Crashes == 0 {
+				t.Fatal("no crashes injected")
+			}
+			if res.Recoveries != res.Crashes {
+				t.Errorf("recoveries = %d, crashes = %d", res.Recoveries, res.Crashes)
+			}
+		})
+	}
+}
+
+// A provider outage under a subscription-based method triggers the TTL
+// watchdog fallback; without failover the subscribed servers silently serve
+// stale content for the whole outage.
+func TestFaultProviderOutageTTLFallback(t *testing.T) {
+	run := func(failover bool) *Result {
+		cfg := baseConfig(t, consistency.MethodSelfAdaptive, consistency.InfraUnicast)
+		// Sparse visits keep servers in the subscribed (invalidation) state
+		// between updates, so the outage catches them relying on provider
+		// notifications; the outage window overlaps a play phase.
+		cfg.UserTTL = 5 * time.Minute
+		cfg.Failover = failover
+		cfg.Faults = &fault.Spec{ProviderOutages: []fault.Window{{StartFrac: 0.5, DurFrac: 0.2}}}
+		return mustRun(t, cfg)
+	}
+	on := run(true)
+	if on.TTLFallbacks == 0 {
+		t.Error("provider outage triggered no TTL fallbacks under failover")
+	}
+	off := run(false)
+	if off.TTLFallbacks != 0 {
+		t.Errorf("TTL fallbacks = %d without failover, want 0", off.TTLFallbacks)
+	}
+}
+
+// Faults off must leave every legacy metric untouched: the fault hooks are
+// pass-through when no schedule is compiled.
+func TestNoFaultsMatchesBaseline(t *testing.T) {
+	base := mustRun(t, baseConfig(t, consistency.MethodPush, consistency.InfraUnicast))
+	cfg := baseConfig(t, consistency.MethodPush, consistency.InfraUnicast)
+	cfg.Faults = &fault.Spec{}
+	cfg.Failover = true
+	faultless := mustRun(t, cfg)
+	if base.Events != faultless.Events {
+		t.Errorf("events differ with empty fault spec: %d vs %d", base.Events, faultless.Events)
+	}
+	if base.UpdateMsgsToServers != faultless.UpdateMsgsToServers {
+		t.Errorf("update messages differ: %d vs %d", base.UpdateMsgsToServers, faultless.UpdateMsgsToServers)
+	}
+	if faultless.Crashes != 0 || faultless.FailedVisits != 0 {
+		t.Errorf("spurious fault activity: %d crashes, %d failed visits", faultless.Crashes, faultless.FailedVisits)
+	}
+}

@@ -25,7 +25,10 @@ func (s *simulation) scheduleLeaseLoops() {
 
 // renewLease sends a lease request to the provider; the response carries
 // the current content and a fresh lease. onDone fires when the content is
-// in (deferred user observation on visit-triggered renewals).
+// in (deferred user observation on visit-triggered renewals). A dark or
+// partitioned provider never grants: the renewal times out after one lease
+// duration, pending visitors get the stale content, and the next visit
+// retries.
 func (s *simulation) renewLease(i int, onDone func()) {
 	nd := s.nodes[i]
 	if onDone != nil {
@@ -35,8 +38,12 @@ func (s *simulation) renewLease(i int, onDone func()) {
 		return
 	}
 	nd.leaseRenewing = true
-	reqArr := s.send(i, 0, s.cfg.LightSizeKB, netmodel.ClassLight)
-	s.at(reqArr, func() {
+	nd.leaseSeq++
+	seq, gen := nd.leaseSeq, nd.gen
+	s.deliver(i, 0, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+		if s.providerDown {
+			return // outage: no grant; the renewal timeout serves stale
+		}
 		provider := s.nodes[0]
 		expiry := s.eng.Now() + s.cfg.LeaseDuration
 		if provider.leases == nil {
@@ -44,9 +51,10 @@ func (s *simulation) renewLease(i int, onDone func()) {
 		}
 		provider.leases[i] = expiry
 		v := provider.version
-		respArr := s.send(0, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(respArr, func() {
-			nd := s.nodes[i]
+		s.deliver(0, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
+			if nd.gen != gen || nd.leaseSeq != seq || !nd.leaseRenewing {
+				return
+			}
 			nd.leaseRenewing = false
 			if nd.down {
 				return
@@ -59,6 +67,19 @@ func (s *simulation) renewLease(i int, onDone func()) {
 				cb()
 			}
 		})
+	})
+	s.at(s.eng.Now()+s.cfg.LeaseDuration, func() {
+		if nd.gen != gen || nd.leaseSeq != seq || !nd.leaseRenewing {
+			return
+		}
+		// The grant never came back: give up and serve stale to the
+		// waiting visitors.
+		nd.leaseRenewing = false
+		cbs := nd.fetchCallbacks
+		nd.fetchCallbacks = nil
+		for _, cb := range cbs {
+			cb()
+		}
 	})
 }
 
@@ -78,8 +99,7 @@ func (s *simulation) pushToLeaseholders() {
 			continue
 		}
 		child := i
-		arrival := s.send(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arrival, func() {
+		s.deliver(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
 			nd := s.nodes[child]
 			if nd.down || v <= nd.version {
 				return
@@ -125,9 +145,8 @@ func (s *simulation) broadcastUpdate() {
 			continue
 		}
 		seed := s.clusterMembers[ci][0]
-		arrival := s.send(0, seed, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
 		child := seed
-		s.at(arrival, func() { s.floodReceive(child, v) })
+		s.deliver(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() { s.floodReceive(child, v) })
 	}
 }
 
@@ -144,7 +163,6 @@ func (s *simulation) floodReceive(i, v int) {
 			continue
 		}
 		p := peer
-		arrival := s.send(i, p, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arrival, func() { s.floodReceive(p, v) })
+		s.deliver(i, p, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() { s.floodReceive(p, v) })
 	}
 }

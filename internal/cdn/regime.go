@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"fmt"
 	"time"
 
 	"cdnconsistency/internal/consistency"
@@ -18,12 +19,14 @@ import (
 //	RegimeTTL:          the server polls on its TTL.
 
 // scheduleRegimeLoops starts each server in the TTL regime with its
-// controller and control-epoch timer.
-func (s *simulation) scheduleRegimeLoops() {
+// controller and control-epoch timer. A controller construction failure
+// aborts the run: silently skipping the server would leave it without any
+// consistency loop at all.
+func (s *simulation) scheduleRegimeLoops() error {
 	for _, nd := range s.nodes[1:] {
 		rc, err := consistency.NewRegimeController(consistency.RegimeConfig{})
 		if err != nil {
-			continue // defaults cannot fail; defensive
+			return fmt.Errorf("cdn: regime controller for server %d: %w", nd.idx, err)
 		}
 		nd.rc = rc
 		nd.regime = consistency.RegimeTTL
@@ -32,6 +35,7 @@ func (s *simulation) scheduleRegimeLoops() {
 		s.at(offset, func() { s.pollParent(i) })
 		s.at(offset+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
 	}
+	return nil
 }
 
 // regimeEpoch re-evaluates one server's regime and reschedules itself.
@@ -40,25 +44,37 @@ func (s *simulation) regimeEpoch(i int) {
 	if nd.down {
 		return
 	}
+	gen := nd.gen
 	if nd.rc.Decide() {
 		next := nd.rc.Regime()
 		nd.regime = next
-		// Register the new regime with the provider.
-		arr := s.send(i, 0, s.cfg.LightSizeKB, netmodel.ClassLight)
-		s.at(arr, func() { s.applyRegime(i, next) })
+		// Register the new regime with the provider. A dark provider loses
+		// the registration and keeps serving the last regime it heard.
+		s.deliver(i, 0, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+			if s.providerDown {
+				return
+			}
+			s.applyRegime(i, next)
+		})
 		switch next {
 		case consistency.RegimeTTL:
 			if nd.pollStopped {
 				nd.pollStopped = false
-				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+				s.pollAfter(i, s.cfg.ServerTTL)
 			}
 		default:
 			// Push and Invalidation regimes stop the poll loop; the
 			// in-flight poll (if any) notices via nd.regime.
 			nd.pollStopped = true
+			s.armWatchdog(i)
 		}
 	}
-	s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
+	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		if nd.down || nd.gen != gen {
+			return
+		}
+		s.regimeEpoch(i)
+	})
 }
 
 // applyRegime updates the provider's per-server registries.
@@ -88,8 +104,7 @@ func (s *simulation) regimePublish() {
 	v := provider.version
 	for _, sub := range sortedKeys(provider.pushSubs) {
 		child := sub
-		arrival := s.send(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arrival, func() {
+		s.deliver(0, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
 			nd := s.nodes[child]
 			if nd.down || v <= nd.version {
 				return

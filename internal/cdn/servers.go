@@ -1,25 +1,30 @@
 package cdn
 
 import (
+	"fmt"
 	"time"
 
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/overlay"
 )
+
+// pollMaxAttempts is how many consecutive poll timeouts a server tolerates
+// before (under Failover) concluding its parent is dead and failing over.
+const pollMaxAttempts = 3
 
 // scheduleServerLoops starts the poll loops of every polling node. Under
 // Push and Invalidation nothing polls; under the hybrid infrastructure
 // supernodes receive pushes and never poll.
-func (s *simulation) scheduleServerLoops() {
+func (s *simulation) scheduleServerLoops() error {
 	switch s.cfg.Method {
 	case consistency.MethodPush, consistency.MethodInvalidation:
-		return
+		return nil
 	case consistency.MethodLease:
 		s.scheduleLeaseLoops()
-		return
+		return nil
 	case consistency.MethodRegime:
-		s.scheduleRegimeLoops()
-		return
+		return s.scheduleRegimeLoops()
 	}
 	for _, nd := range s.nodes[1:] {
 		if s.cfg.Infra == consistency.InfraHybrid && nd.isSupernode {
@@ -33,36 +38,195 @@ func (s *simulation) scheduleServerLoops() {
 				MinTTL: s.cfg.UserTTL,
 				MaxTTL: 4 * s.cfg.ServerTTL,
 			})
-			if err == nil {
-				nd.adapt = adapt
+			if err != nil {
+				return fmt.Errorf("cdn: adaptive TTL for server %d: %w", nd.idx, err)
 			}
+			nd.adapt = adapt
 		}
 		// Stagger first polls uniformly over one TTL, as TTL caches do.
 		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)))
 		i := nd.idx
 		s.at(offset, func() { s.pollParent(i) })
 	}
+	return nil
 }
 
-// pollParent performs one TTL-family poll: a light request up the tree, an
-// update-class response down carrying the parent's current content. A dead
-// parent never answers; the poller times out and retries one TTL later.
-func (s *simulation) pollParent(i int) {
-	if s.nodes[i].down {
+// pollParent starts one TTL-family poll cycle: a light request up the tree,
+// an update-class response down carrying the parent's current content. A
+// dead, partitioned or dark parent never answers; the poller times out and
+// retries with exponential backoff, and under Failover eventually reparents
+// away from a dead relay.
+func (s *simulation) pollParent(i int) { s.pollAttempt(i, 0) }
+
+func (s *simulation) pollAttempt(i, attempt int) {
+	nd := s.nodes[i]
+	if nd.down {
 		return // a crashed server's poll loop ends
 	}
+	gen := nd.gen
 	p := s.tree.Parent(i)
-	reqArrival := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
-	s.at(reqArrival, func() {
-		if s.nodes[p].down {
-			// Timeout path: retry on the next TTL boundary.
-			s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
-			return
+	if p == overlay.NoParent {
+		return // orphaned by a failed repair: nothing to poll
+	}
+	answered := false
+	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+		if s.nodes[p].down || (p == 0 && s.providerDown) {
+			return // no answer; the poller's timeout takes over
 		}
 		v := s.nodes[p].version
-		respArrival := s.send(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(respArrival, func() { s.onPollResponse(i, p, v) })
+		s.deliver(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
+			if answered || nd.down || nd.gen != gen {
+				return
+			}
+			answered = true
+			s.onPollResponse(i, p, v)
+		})
 	})
+	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		if answered || nd.down || nd.gen != gen {
+			return
+		}
+		answered = true
+		s.pollRetry(i, p, attempt+1)
+	})
+}
+
+// pollRetry handles a timed-out poll against parent p: bounded retries with
+// exponential backoff and jitter; once the retry budget is spent, a Failover
+// node whose relay parent is dead moves itself (and the whole orphan group
+// under that relay) to the nearest live node and starts a fresh cycle.
+func (s *simulation) pollRetry(i, p, attempt int) {
+	nd := s.nodes[i]
+	if s.cfg.Failover && attempt >= pollMaxAttempts {
+		pn := s.nodes[p]
+		if pn.down && p != 0 && s.cfg.Infra == consistency.InfraMulticast && s.tree.Parent(i) == p {
+			if err := s.tree.Remove(p, s.locs, s.cfg.TreeDegree, s.alive); err == nil {
+				s.serverReparents++
+			}
+		}
+		attempt = 0 // fresh cycle against the (possibly new) parent
+	}
+	backoff := s.pollBackoff(attempt)
+	gen := nd.gen
+	s.at(s.eng.Now()+backoff, func() {
+		if nd.down || nd.gen != gen {
+			return
+		}
+		s.pollAttempt(i, attempt)
+	})
+}
+
+// pollBackoff maps the retry attempt to its wait: one TTL, two, then capped
+// at four, plus jitter to desynchronise the retry storm when a fault clears.
+// Jitter is drawn only on the retry path, so healthy runs consume no extra
+// randomness.
+func (s *simulation) pollBackoff(attempt int) time.Duration {
+	d := s.cfg.ServerTTL
+	switch {
+	case attempt >= 3:
+		d = 4 * s.cfg.ServerTTL
+	case attempt == 2:
+		d = 2 * s.cfg.ServerTTL
+	}
+	return d + time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)/4+1))
+}
+
+// pollAfter resumes a node's poll loop after d, unless the node crashed or
+// recovered (generation change) in the meantime — recovery starts its own
+// fresh loop.
+func (s *simulation) pollAfter(i int, d time.Duration) {
+	nd := s.nodes[i]
+	gen := nd.gen
+	s.at(s.eng.Now()+d, func() {
+		if nd.down || nd.gen != gen {
+			return
+		}
+		s.pollAttempt(i, 0)
+	})
+}
+
+// armWatchdog starts the subscription watchdog on a node whose poll loop is
+// paused because it relies on notifications from its feed (push/invalidation
+// regime, self-adaptive subscription). A registration dropped by a partition,
+// a dark provider, or a dead supernode would otherwise leave the node serving
+// stale content silently, believing itself subscribed. Every two TTLs the
+// watchdog heartbeats the feed: no answer within one TTL, or an answer
+// revealing newer content the node was never told about, reverts it to TTL
+// polling. Failover only.
+func (s *simulation) armWatchdog(i int) {
+	if !s.cfg.Failover {
+		return
+	}
+	nd := s.nodes[i]
+	if nd.watchdogArmed {
+		return
+	}
+	nd.watchdogArmed = true
+	gen := nd.gen
+	var tick func()
+	tick = func() {
+		if nd.down || nd.gen != gen || !nd.pollStopped {
+			nd.watchdogArmed = false
+			return
+		}
+		p := s.tree.Parent(i)
+		if p == overlay.NoParent {
+			nd.watchdogArmed = false
+			return
+		}
+		answered := false
+		s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+			if s.nodes[p].down || (p == 0 && s.providerDown) {
+				return // no answer; the heartbeat timeout concludes
+			}
+			v := s.nodes[p].version
+			s.deliver(p, i, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+				if answered || nd.down || nd.gen != gen {
+					return
+				}
+				answered = true
+				if !nd.pollStopped {
+					nd.watchdogArmed = false
+					return
+				}
+				if v > nd.version && nd.valid {
+					// The feed moved on without notifying us: the
+					// registration was lost somewhere en route.
+					s.ttlFallback(i)
+					return
+				}
+				s.at(s.eng.Now()+2*s.cfg.ServerTTL, tick)
+			})
+		})
+		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+			if answered || nd.down || nd.gen != gen {
+				return
+			}
+			answered = true
+			if !nd.pollStopped {
+				nd.watchdogArmed = false
+				return
+			}
+			s.ttlFallback(i)
+		})
+	}
+	s.at(s.eng.Now()+2*s.cfg.ServerTTL, tick)
+}
+
+// ttlFallback reverts a notification-dependent node to TTL polling after its
+// watchdog concluded the feed is dead, dark, or no longer aware of it.
+func (s *simulation) ttlFallback(i int) {
+	nd := s.nodes[i]
+	nd.pollStopped = false
+	nd.watchdogArmed = false
+	s.ttlFallbacks++
+	if nd.auto != nil {
+		nd.auto = consistency.NewSelfAdaptive()
+	}
+	if s.cfg.Method == consistency.MethodRegime {
+		nd.regime = consistency.RegimeTTL
+	}
+	s.pollAttempt(i, 0)
 }
 
 func (s *simulation) onPollResponse(i, p, v int) {
@@ -85,11 +249,17 @@ func (s *simulation) onPollResponse(i, p, v int) {
 			// Switch to Invalidation (Algorithm 1 line 8): register
 			// with the parent and pause the poll loop.
 			nd.pollStopped = true
-			arr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
-			s.at(arr, func() { s.subscribe(p, i) })
+			s.armWatchdog(i)
+			s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+				if s.nodes[p].down || (p == 0 && s.providerDown) {
+					return // subscription lost; the watchdog (or the
+					// next visit poll) recovers the node
+				}
+				s.subscribe(p, i)
+			})
 			return
 		}
-		s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+		s.pollAfter(i, s.cfg.ServerTTL)
 	case consistency.MethodAdaptiveTTL:
 		now := s.eng.Now()
 		if hadUpdate {
@@ -97,17 +267,17 @@ func (s *simulation) onPollResponse(i, p, v int) {
 		} else {
 			nd.adapt.ObserveMiss()
 		}
-		s.at(now+nd.adapt.NextTTL(), func() { s.pollParent(i) })
+		s.pollAfter(i, nd.adapt.NextTTL())
 	case consistency.MethodRegime:
 		if hadUpdate && nd.rc != nil {
 			nd.rc.ObserveUpdate(s.eng.Now())
 		}
 		// Keep polling only while still in the TTL regime.
 		if nd.regime == consistency.RegimeTTL && !nd.pollStopped {
-			s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+			s.pollAfter(i, s.cfg.ServerTTL)
 		}
 	default: // plain TTL
-		s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
+		s.pollAfter(i, s.cfg.ServerTTL)
 	}
 }
 
@@ -139,8 +309,22 @@ func (s *simulation) triggerFetch(i int, cb func()) {
 	}
 	nd.fetchInFlight = true
 	p := s.tree.Parent(i)
-	arr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
-	s.at(arr, func() { s.serveFetch(p, i) })
+	if p == overlay.NoParent {
+		// Orphaned by a failed repair: no upstream; serve what we hold.
+		s.failFetch(i)
+		return
+	}
+	nd.fetchSeq++
+	seq, gen := nd.fetchSeq, nd.gen
+	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() { s.serveFetch(p, i) })
+	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		if nd.down || nd.gen != gen || nd.fetchSeq != seq || !nd.fetchInFlight {
+			return
+		}
+		// The fetch went dark (partitioned link or provider outage):
+		// serve the stale local content to whoever is waiting.
+		s.failFetch(i)
+	})
 }
 
 // serveFetch answers child's fetch at node p. An invalid intermediate node
@@ -153,6 +337,10 @@ func (s *simulation) serveFetch(p, child int) {
 		s.failFetch(child)
 		return
 	}
+	if p == 0 && s.providerDown {
+		return // origin outage: no answer; the child's fetch timeout
+		// serves its stale content
+	}
 	if p == 0 || pn.valid {
 		if p == 0 && s.cfg.Method == consistency.MethodRegime {
 			// Re-arm the aggregated invalidation for this subscriber.
@@ -161,8 +349,7 @@ func (s *simulation) serveFetch(p, child int) {
 			}
 		}
 		v := pn.version
-		arr := s.send(p, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arr, func() { s.completeFetch(child, v) })
+		s.deliver(p, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() { s.completeFetch(child, v) })
 		return
 	}
 	pn.waiters = append(pn.waiters, child)
@@ -210,41 +397,56 @@ func (s *simulation) failFetch(i int) {
 // after an invalidation polls the parent, notifies the switch back to TTL,
 // and resumes the poll loop. onDone fires when the fresh content is in.
 func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
+	nd := s.nodes[i]
 	p := s.tree.Parent(i)
-	reqArr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
-	s.at(reqArr, func() {
-		if s.nodes[p].down {
-			// The source died: the automaton already returned to TTL
-			// mode, so resume the poll loop (it will time out against
-			// the dead parent but keeps the node live for repair-free
-			// analysis) and serve the stale content.
-			nd := s.nodes[i]
-			if nd.pollStopped {
-				nd.pollStopped = false
-				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
-			}
-			if onDone != nil {
-				onDone()
-			}
+	gen := nd.gen
+	answered := false
+	// The automaton already switched back to TTL mode; whatever happens to
+	// this poll, the loop must resume and the visitor must be served (with
+	// stale content if the source is unreachable).
+	resume := func() {
+		if nd.pollStopped {
+			nd.pollStopped = false
+			s.pollAfter(i, s.cfg.ServerTTL)
+		}
+		if onDone != nil {
+			onDone()
+		}
+	}
+	if p == overlay.NoParent {
+		resume()
+		return
+	}
+	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+		if answered || nd.down || nd.gen != gen {
+			return
+		}
+		if s.nodes[p].down || (p == 0 && s.providerDown) {
+			// The source died or went dark: serve the stale content and
+			// resume the poll loop.
+			answered = true
+			resume()
 			return
 		}
 		v := s.nodes[p].version
-		respArr := s.send(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(respArr, func() {
-			nd := s.nodes[i]
+		s.deliver(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
+			if answered || nd.down || nd.gen != gen {
+				return
+			}
+			answered = true
 			s.setVersion(nd, v)
 			nd.valid = true
 			// Notify the switch back (Algorithm 1 line 12).
-			notifArr := s.send(i, p, s.cfg.LightSizeKB, netmodel.ClassLight)
-			s.at(notifArr, func() { delete(s.nodes[p].subscribers, i) })
-			// Resume TTL polling.
-			if nd.pollStopped {
-				nd.pollStopped = false
-				s.at(s.eng.Now()+s.cfg.ServerTTL, func() { s.pollParent(i) })
-			}
-			if onDone != nil {
-				onDone()
-			}
+			s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() { delete(s.nodes[p].subscribers, i) })
+			resume()
 		})
+	})
+	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		if answered || nd.down || nd.gen != gen {
+			return
+		}
+		// Request or response lost to a partition: serve stale, resume.
+		answered = true
+		resume()
 	})
 }

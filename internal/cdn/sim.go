@@ -2,11 +2,13 @@ package cdn
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/dns"
+	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/geo"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/overlay"
@@ -55,6 +57,24 @@ type node struct {
 	// down marks a crash-stopped server: it no longer responds, polls,
 	// forwards, or serves visits.
 	down bool
+	// gen is the node's incarnation, bumped on every crash and recovery.
+	// Scheduled continuations (poll loops, timeouts, epoch timers) capture
+	// the generation they were armed under and become no-ops when it
+	// changes, so a recovery never resurrects a pre-crash loop alongside
+	// its own.
+	gen int
+	// fetchSeq / leaseSeq identify the in-flight fetch or lease renewal so
+	// its timeout cannot abort a later operation.
+	fetchSeq int
+	leaseSeq int
+	// Crash-recovery bookkeeping: a recovering node has lost its state and
+	// counts as recovered once it re-syncs to syncTarget (the provider's
+	// version at recovery time).
+	recovering bool
+	syncTarget int
+	recoverAt  time.Duration
+	// watchdogArmed guards the single TTL-fallback watchdog per node.
+	watchdogArmed bool
 
 	// Cooperative-lease state: on servers, the local lease expiry and a
 	// renewal-in-flight flag; on the provider, the leaseholder registry.
@@ -68,6 +88,8 @@ type user struct {
 	idx     int
 	homeSrv int // node index of the home server
 	maxSeen int
+	// loc is the user's location, used to re-home after a failed visit.
+	loc geo.Point
 	// resolver routes visits when DNS routing is on; lastServer tracks
 	// redirections.
 	resolver   *dns.Resolver
@@ -110,6 +132,23 @@ type simulation struct {
 	updateMsgsToServers    int
 	updateMsgsFromProvider int
 	lightMsgs              int
+
+	// Fault-injection state: the compiled schedule, the provider-outage
+	// flag with its deferred dissemination, the id of the newest published
+	// snapshot (for the stale-serve metric), and the robustness counters.
+	faultEvents   []fault.Event
+	providerDown  bool
+	pendingDissem bool
+	published     int
+
+	crashes           int
+	recoveries        int
+	recoverySeconds   []float64
+	failedVisits      int
+	userFailovers     int
+	serverReparents   int
+	ttlFallbacks      int
+	staleObservations int
 }
 
 func newSimulation(cfg Config) (*simulation, error) {
@@ -128,10 +167,14 @@ func newSimulation(cfg Config) (*simulation, error) {
 		}
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	net, err := netmodel.New(cfg.Net, eng.Rand())
+	if err != nil {
+		return nil, fmt.Errorf("cdn: %w", err)
+	}
 	s := &simulation{
 		cfg:  cfg,
 		eng:  eng,
-		net:  netmodel.New(cfg.Net, eng.Rand()),
+		net:  net,
 		topo: topo,
 	}
 
@@ -181,6 +224,26 @@ func newSimulation(cfg Config) (*simulation, error) {
 	}
 	last := cfg.Updates[len(cfg.Updates)-1].At
 	s.horizon = cfg.StartDelay + last + cfg.HorizonSlack
+
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		isps := make([]int, len(topo.Servers))
+		for i, srv := range topo.Servers {
+			isps[i] = srv.ISP
+		}
+		// A dedicated RNG stream (not the engine's) keeps topology and user
+		// schedules identical between runs with and without faults.
+		frng := rand.New(rand.NewSource(cfg.Seed + 0x0fa17))
+		events, err := fault.Compile(*cfg.Faults, fault.Env{
+			Servers: len(topo.Servers),
+			Locs:    s.locs[1:],
+			ISPs:    isps,
+			Horizon: s.horizon,
+		}, frng)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: %w", err)
+		}
+		s.faultEvents = events
+	}
 	return s, nil
 }
 
@@ -298,6 +361,19 @@ func (s *simulation) send(from, to int, sizeKB float64, class netmodel.Class) ti
 	return arrival
 }
 
+// deliver sends a message and schedules onArrival at the arrival time.
+// When an active partition separates the endpoints, the message is dropped
+// on the floor — it never enters the network, is not accounted, and the
+// sender only learns about it through its own timeout. Without partitions
+// deliver is exactly send + at.
+func (s *simulation) deliver(from, to int, sizeKB float64, class netmodel.Class, onArrival func()) {
+	if !s.net.Reachable(s.nodes[from].ep, s.nodes[to].ep) {
+		return
+	}
+	arrival := s.send(from, to, sizeKB, class)
+	s.at(arrival, onArrival)
+}
+
 // setVersion advances a node's content and records ground-truth catch-up
 // delays for every update the node just caught.
 func (s *simulation) setVersion(nd *node, v int) {
@@ -316,6 +392,13 @@ func (s *simulation) setVersion(nd *node, v int) {
 	}
 	nd.version = v
 	nd.valid = true
+	if nd.recovering && nd.idx > 0 && nd.version >= nd.syncTarget {
+		// The crash-recovered node caught up to the content the provider
+		// held when it came back: recovery complete.
+		nd.recovering = false
+		s.recoveries++
+		s.recoverySeconds = append(s.recoverySeconds, (now - nd.recoverAt).Seconds())
+	}
 }
 
 // pushMethod reports whether nd receives pushed updates: everything under
@@ -337,9 +420,12 @@ func (s *simulation) invalidatedTo() bool {
 func (s *simulation) run() (*Result, error) {
 	s.eng.SetMaxEvents(200_000_000)
 	s.schedulePublications()
-	s.scheduleServerLoops()
+	if err := s.scheduleServerLoops(); err != nil {
+		return nil, err
+	}
 	s.scheduleUsers()
 	s.scheduleFailures()
+	s.scheduleFaults()
 	if err := s.eng.Run(s.horizon); err != nil {
 		return nil, fmt.Errorf("cdn: %w", err)
 	}
@@ -353,6 +439,14 @@ func (s *simulation) run() (*Result, error) {
 		Events:                 s.eng.Processed(),
 		DNSRedirects:           s.dnsRedirects,
 		DNSVisits:              s.dnsVisits,
+		Crashes:                s.crashes,
+		Recoveries:             s.recoveries,
+		RecoverySeconds:        s.recoverySeconds,
+		FailedVisits:           s.failedVisits,
+		UserFailovers:          s.userFailovers,
+		ServerReparents:        s.serverReparents,
+		TTLFallbacks:           s.ttlFallbacks,
+		StaleObservations:      s.staleObservations,
 	}
 	finalVersion := len(s.publishAt) - 1
 	for _, nd := range s.nodes[1:] {
@@ -386,7 +480,7 @@ func (s *simulation) run() (*Result, error) {
 }
 
 // scheduleFailures crash-stops FailServers random servers at random times
-// in the middle third of the run.
+// inside the configured failure window (the middle third by default).
 func (s *simulation) scheduleFailures() {
 	if s.cfg.FailServers <= 0 {
 		return
@@ -406,12 +500,46 @@ func (s *simulation) scheduleFailures() {
 		j := i + rng.Intn(n-i)
 		victims[i], victims[j] = victims[j], victims[i]
 	}
-	windowStart := s.horizon / 3
-	window := s.horizon / 3
+	windowStart := time.Duration(s.cfg.FailWindowStart * float64(s.horizon))
+	window := time.Duration(s.cfg.FailWindowFrac * float64(s.horizon))
+	if window < 1 {
+		window = 1
+	}
 	for _, v := range victims[:count] {
 		v := v
 		at := windowStart + time.Duration(rng.Int63n(int64(window)))
 		s.at(at, func() { s.failServer(v) })
+	}
+}
+
+// scheduleFaults arms the compiled fault schedule. Event server indices are
+// 0-based server indices; node indices are one higher (node 0 is the
+// provider).
+func (s *simulation) scheduleFaults() {
+	for _, e := range s.faultEvents {
+		e := e
+		var f func()
+		switch e.Op {
+		case fault.OpServerDown:
+			f = func() { s.failServer(e.Server + 1) }
+		case fault.OpServerUp:
+			f = func() { s.recoverServer(e.Server + 1) }
+		case fault.OpProviderDown:
+			f = func() { s.providerDown = true }
+		case fault.OpProviderUp:
+			f = func() { s.providerUp() }
+		case fault.OpPartitionStart:
+			f = func() { s.net.SetPartitionGroup(e.Group, e.ISPs) }
+		case fault.OpPartitionEnd:
+			f = func() { s.net.ClearPartitionGroup(e.Group) }
+		case fault.OpOverloadStart:
+			f = func() { s.net.SetOverload(s.nodes[e.Server+1].ep.ID, e.Factor) }
+		case fault.OpOverloadEnd:
+			f = func() { s.net.ClearOverload(s.nodes[e.Server+1].ep.ID) }
+		default:
+			continue
+		}
+		s.at(e.At, f)
 	}
 }
 
@@ -423,6 +551,13 @@ func (s *simulation) failServer(v int) {
 		return
 	}
 	nd.down = true
+	nd.gen++
+	s.crashes++
+	if s.auth != nil && s.cfg.Failover {
+		// Health-check feedback into request routing: the authoritative
+		// DNS stops handing out the dead server.
+		s.auth.SetLive(v, false)
+	}
 	// A downed server must never be counted live again: leaving alive[v]
 	// set would let a later repair adopt orphans under the dead node (and
 	// TotalEdgeKm/Validate would still count it). tree.Remove clears the
@@ -443,6 +578,132 @@ func (s *simulation) failServer(v int) {
 	}
 }
 
+// recoverServer brings a crash-recovered server back. Its volatile state is
+// lost (content, validity, lease, in-flight bookkeeping); it re-joins the
+// update infrastructure — under multicast repair via Tree.Reattach to the
+// nearest live node — and re-syncs, counting as recovered once it holds the
+// content the provider held at recovery time.
+func (s *simulation) recoverServer(v int) {
+	nd := s.nodes[v]
+	if !nd.down {
+		return
+	}
+	nd.down = false
+	nd.gen++
+	nd.version = 0
+	nd.valid = false
+	nd.fetchInFlight = false
+	nd.waiters = nil
+	nd.fetchCallbacks = nil
+	nd.pollStopped = false
+	nd.watchdogArmed = false
+	nd.leaseExpiry = 0
+	nd.leaseRenewing = false
+	if s.auth != nil && s.cfg.Failover {
+		s.auth.SetLive(v, true)
+	}
+	if s.cfg.Infra == consistency.InfraMulticast && s.tree.Parent(v) == overlay.NoParent {
+		// The node was detached from the tree — at crash time by the
+		// RepairTree oracle, or later by a child's detection-driven removal
+		// under Failover — so rejoin under the nearest live node with spare
+		// degree. On the (rare) failure the node stays orphaned: it serves
+		// its empty state but cannot poll anything.
+		if err := s.tree.Reattach(v, s.locs, s.cfg.TreeDegree, s.alive); err != nil {
+			s.restartServer(v)
+			return
+		}
+	} else {
+		s.alive[v] = true
+	}
+	nd.recovering = true
+	nd.syncTarget = s.nodes[0].version
+	nd.recoverAt = s.eng.Now()
+	if nd.syncTarget == 0 {
+		// Nothing was ever published: recovery is trivially complete.
+		nd.recovering = false
+		s.recoveries++
+		s.recoverySeconds = append(s.recoverySeconds, 0)
+	}
+	s.restartServer(v)
+}
+
+// restartServer boots a recovered node's protocol role from scratch, as a
+// freshly provisioned cache would.
+func (s *simulation) restartServer(i int) {
+	nd := s.nodes[i]
+	if s.cfg.Infra == consistency.InfraHybrid && nd.isSupernode {
+		// Supernodes are push-fed; re-sync the content, then wait for
+		// pushes to resume.
+		s.resyncFetch(i)
+		return
+	}
+	switch s.cfg.Method {
+	case consistency.MethodPush, consistency.MethodInvalidation:
+		s.resyncFetch(i)
+	case consistency.MethodLease:
+		s.renewLease(i, nil)
+	case consistency.MethodRegime:
+		if rc, err := consistency.NewRegimeController(consistency.RegimeConfig{}); err == nil {
+			nd.rc = rc
+		}
+		nd.regime = consistency.RegimeTTL
+		s.pollAttempt(i, 0)
+		gen := nd.gen
+		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+			if nd.down || nd.gen != gen {
+				return
+			}
+			s.regimeEpoch(i)
+		})
+	case consistency.MethodSelfAdaptive:
+		nd.auto = consistency.NewSelfAdaptive()
+		s.pollAttempt(i, 0)
+	case consistency.MethodAdaptiveTTL:
+		if adapt, err := consistency.NewAdaptiveTTL(consistency.AdaptiveTTLConfig{
+			MinTTL: s.cfg.UserTTL,
+			MaxTTL: 4 * s.cfg.ServerTTL,
+		}); err == nil {
+			nd.adapt = adapt
+		}
+		s.pollAttempt(i, 0)
+	default: // plain TTL (and broadcast's push-style star)
+		s.pollAttempt(i, 0)
+	}
+}
+
+// resyncFetch re-syncs a recovered push/invalidation-family node from its
+// parent. Pushed updates only carry content published after the recovery,
+// so the node must actively fetch what it missed; under Failover it keeps
+// retrying every TTL until caught up.
+func (s *simulation) resyncFetch(i int) {
+	nd := s.nodes[i]
+	gen := nd.gen
+	s.triggerFetch(i, func() {
+		if nd.down || nd.gen != gen || !nd.recovering || !s.cfg.Failover {
+			return
+		}
+		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+			if nd.down || nd.gen != gen || !nd.recovering {
+				return
+			}
+			s.resyncFetch(i)
+		})
+	})
+}
+
+// providerUp ends a provider outage, releasing any dissemination that was
+// deferred while the origin was dark.
+func (s *simulation) providerUp() {
+	if !s.providerDown {
+		return
+	}
+	s.providerDown = false
+	if s.pendingDissem {
+		s.pendingDissem = false
+		s.disseminate()
+	}
+}
+
 // schedulePublications sets the provider's version at each publication time
 // and triggers method-specific dissemination.
 func (s *simulation) schedulePublications() {
@@ -452,27 +713,43 @@ func (s *simulation) schedulePublications() {
 		s.eng.ScheduleAt(at, func(*sim.Engine) { //nolint:errcheck // at >= 0 by construction
 			provider := s.nodes[0]
 			s.setVersion(provider, v)
-			switch {
-			case s.cfg.Infra == consistency.InfraBroadcast:
-				s.broadcastUpdate()
-			case s.cfg.Method == consistency.MethodLease:
-				s.pushToLeaseholders()
-			case s.cfg.Method == consistency.MethodRegime:
-				s.regimePublish()
-			case s.cfg.Method == consistency.MethodPush:
-				s.pushToChildren(0)
-			case s.cfg.Infra == consistency.InfraHybrid:
-				// Push to supernode children; cluster-internal
-				// dissemination is the configured method, driven by
-				// each supernode when its content arrives.
-				s.pushToSupernodeChildren(0)
-				s.afterSourceUpdate(provider)
-			case s.cfg.Method == consistency.MethodInvalidation:
-				s.invalidateChildren(0)
-			case s.cfg.Method == consistency.MethodSelfAdaptive:
-				s.notifySubscribers(provider)
+			s.published = v
+			if s.providerDown {
+				// Origin outage: the content exists (ground truth
+				// advances) but cannot be disseminated until the
+				// provider returns; updates aggregate into one deferred
+				// dissemination.
+				s.pendingDissem = true
+				return
 			}
+			s.disseminate()
 		})
+	}
+}
+
+// disseminate runs the configured method's reaction to the provider's
+// current content.
+func (s *simulation) disseminate() {
+	provider := s.nodes[0]
+	switch {
+	case s.cfg.Infra == consistency.InfraBroadcast:
+		s.broadcastUpdate()
+	case s.cfg.Method == consistency.MethodLease:
+		s.pushToLeaseholders()
+	case s.cfg.Method == consistency.MethodRegime:
+		s.regimePublish()
+	case s.cfg.Method == consistency.MethodPush:
+		s.pushToChildren(0)
+	case s.cfg.Infra == consistency.InfraHybrid:
+		// Push to supernode children; cluster-internal dissemination is
+		// the configured method, driven by each supernode when its
+		// content arrives.
+		s.pushToSupernodeChildren(0)
+		s.afterSourceUpdate(provider)
+	case s.cfg.Method == consistency.MethodInvalidation:
+		s.invalidateChildren(0)
+	case s.cfg.Method == consistency.MethodSelfAdaptive:
+		s.notifySubscribers(provider)
 	}
 }
 
@@ -494,8 +771,7 @@ func (s *simulation) pushToChildren(from int) {
 	v := s.nodes[from].version
 	for _, c := range s.tree.Children(from) {
 		child := c
-		arrival := s.send(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arrival, func() {
+		s.deliver(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
 			nd := s.nodes[child]
 			if nd.down || v <= nd.version {
 				return
@@ -515,8 +791,7 @@ func (s *simulation) pushToSupernodeChildren(from int) {
 		if !s.nodes[child].isSupernode {
 			continue
 		}
-		arrival := s.send(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate)
-		s.at(arrival, func() {
+		s.deliver(from, child, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
 			nd := s.nodes[child]
 			if nd.down || v <= nd.version {
 				return
@@ -539,8 +814,7 @@ func (s *simulation) invalidateChildren(from int) {
 		if s.cfg.Infra == consistency.InfraHybrid && s.nodes[child].isSupernode {
 			continue // supernodes receive pushed content instead
 		}
-		arrival := s.send(from, child, s.cfg.LightSizeKB, netmodel.ClassLight)
-		s.at(arrival, func() {
+		s.deliver(from, child, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
 			nd := s.nodes[child]
 			if nd.down {
 				return
@@ -562,8 +836,7 @@ func (s *simulation) notifySubscribers(src *node) {
 		}
 		src.subscribers[sub] = true
 		child := sub
-		arrival := s.send(src.idx, child, s.cfg.LightSizeKB, netmodel.ClassLight)
-		s.at(arrival, func() {
+		s.deliver(src.idx, child, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
 			nd := s.nodes[child]
 			if nd.down {
 				return

@@ -5,6 +5,7 @@ import (
 
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/dns"
+	"cdnconsistency/internal/geo"
 )
 
 // scheduleUsers creates the end-users attached to each server and their
@@ -15,7 +16,7 @@ import (
 func (s *simulation) scheduleUsers() {
 	for si := range s.topo.Servers {
 		for ui := range s.topo.Users[si] {
-			u := &user{idx: len(s.users), homeSrv: si + 1, lastServer: -1}
+			u := &user{idx: len(s.users), homeSrv: si + 1, lastServer: -1, loc: s.topo.Users[si][ui].Loc}
 			if s.cfg.UseDNSRouting {
 				resolver, err := dns.NewResolver(s.auth, s.topo.Users[si][ui].Loc, s.cfg.ResolverTTL)
 				if err == nil {
@@ -36,10 +37,15 @@ func (s *simulation) visit(u *user) {
 
 	switch {
 	case nd.down:
-		// The server is dead: the request fails. A DNS-routed user will
-		// eventually re-resolve; a pinned user keeps failing, matching
-		// the paper's observation that cached IPs of failed servers keep
-		// attracting requests (Section 3.4.5).
+		// The server is dead: the request fails. Without Failover a
+		// DNS-routed user waits for its cached entry to expire and a
+		// pinned user keeps failing, matching the paper's observation
+		// that cached IPs of failed servers keep attracting requests
+		// (Section 3.4.5). With Failover the user reacts immediately.
+		s.failedVisits++
+		if s.cfg.Failover {
+			s.failoverUser(u)
+		}
 	case nd.auto != nil && nd.auto.OnVisit():
 		// First visit after an invalidation under the self-adaptive
 		// method: the server polls, switches back to TTL, and the user
@@ -95,11 +101,45 @@ func (s *simulation) routeVisit(u *user) int {
 	}
 }
 
+// failoverUser reacts to a failed visit: a DNS-routed user flushes its
+// resolver cache so the next lookup re-resolves at the authoritative DNS
+// (which skips dead servers); a pinned user re-homes to the nearest live
+// server — the DNS re-resolution a real client performs after connection
+// failures, collapsed into one step.
+func (s *simulation) failoverUser(u *user) {
+	if u.resolver != nil {
+		u.resolver.Flush()
+		s.userFailovers++
+		return
+	}
+	if s.cfg.UserSwitchEveryVisit {
+		return // the next visit picks a random server anyway
+	}
+	best, bestD := -1, 0.0
+	for i := 1; i < len(s.nodes); i++ {
+		if s.nodes[i].down {
+			continue
+		}
+		d := geo.DistanceKm(u.loc, s.locs[i])
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best > 0 {
+		u.homeSrv = best
+		s.userFailovers++
+	}
+}
+
 // observe records what the user saw: catch-up delays for newly seen updates
 // and the self-inconsistency counter (content older than previously seen,
-// the Figure 24 metric).
+// the Figure 24 metric), plus the stale-serve counter against the newest
+// published snapshot.
 func (s *simulation) observe(u *user, v int) {
 	u.observations++
+	if v < s.published {
+		s.staleObservations++
+	}
 	if v < u.maxSeen {
 		u.inconsistent++
 		return

@@ -11,6 +11,7 @@ import (
 
 	"cdnconsistency/internal/cdn"
 	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/topology"
 	"cdnconsistency/internal/workload"
@@ -163,6 +164,35 @@ func WithFailures(n int, repair bool) Option {
 // WithLeaseDuration sets the cooperative-lease lifetime for MethodLease.
 func WithLeaseDuration(d time.Duration) Option {
 	return func(c *cdn.Config) { c.LeaseDuration = d }
+}
+
+// WithFaults injects a declarative fault scenario (crash-stop,
+// crash-recovery, provider outages, ISP partitions, overload, regional
+// failures) compiled deterministically against the run's topology. See
+// internal/fault for the spec language and fault.Scenario for the built-in
+// named scenarios.
+func WithFaults(spec fault.Spec) Option {
+	return func(c *cdn.Config) {
+		s := spec
+		c.Faults = &s
+	}
+}
+
+// WithFailover enables failure-aware protocol reactions: timeout-driven
+// dead-parent detection with bounded backoff, orphan reparenting, user
+// re-resolution/re-homing after failed visits, TTL fallback during provider
+// outages, and persistent re-sync of crash-recovered servers.
+func WithFailover() Option {
+	return func(c *cdn.Config) { c.Failover = true }
+}
+
+// WithFailWindow positions the WithFailures crash window as horizon
+// fractions (default: the middle third).
+func WithFailWindow(start, frac float64) Option {
+	return func(c *cdn.Config) {
+		c.FailWindowStart = start
+		c.FailWindowFrac = frac
+	}
 }
 
 // defaultConfig mirrors the paper's Section 4 setup: 170 servers, 5 users

@@ -31,6 +31,7 @@ type Authoritative struct {
 	// (load balancing spreads answers across them); default 3.
 	candidateSet int
 	load         map[int]int
+	down         map[int]bool
 	rng          *rand.Rand
 }
 
@@ -52,8 +53,22 @@ func NewAuthoritative(servers []ServerEntry, candidateSet int, rng *rand.Rand) (
 		servers:      append([]ServerEntry(nil), servers...),
 		candidateSet: candidateSet,
 		load:         make(map[int]int),
+		down:         make(map[int]bool),
 		rng:          rng,
 	}, nil
+}
+
+// SetLive marks a server as live or dead. Dead servers are skipped when
+// answering queries (the CDN's health-check feedback into request routing);
+// if every server is dead, Resolve falls back to the full set rather than
+// failing — the paper's observation that cached IPs of failed servers keep
+// attracting requests (Section 3.4.5) still applies at the resolver layer.
+func (a *Authoritative) SetLive(serverIdx int, live bool) {
+	if live {
+		delete(a.down, serverIdx)
+	} else {
+		a.down[serverIdx] = true
+	}
 }
 
 // Resolve answers a query from a resolver at loc: one of the candidateSet
@@ -66,7 +81,16 @@ func (a *Authoritative) Resolve(loc geo.Point) int {
 	}
 	cands := make([]cand, 0, len(a.servers))
 	for _, s := range a.servers {
+		if a.down[s.Index] {
+			continue
+		}
 		cands = append(cands, cand{idx: s.Index, dist: geo.DistanceKm(loc, s.Loc)})
+	}
+	if len(cands) == 0 {
+		// Every server is down: answer from the full set anyway.
+		for _, s := range a.servers {
+			cands = append(cands, cand{idx: s.Index, dist: geo.DistanceKm(loc, s.Loc)})
+		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].dist != cands[j].dist {
@@ -74,7 +98,9 @@ func (a *Authoritative) Resolve(loc geo.Point) int {
 		}
 		return cands[i].idx < cands[j].idx
 	})
-	cands = cands[:a.candidateSet]
+	if len(cands) > a.candidateSet {
+		cands = cands[:a.candidateSet]
+	}
 	// Least-loaded among the candidates; random tie-break keeps answers
 	// spread for equal loads (the paper's "load-balancing consideration").
 	best := cands[0]
@@ -149,6 +175,16 @@ func (r *Resolver) Lookup(now time.Duration) (serverIdx int, fresh bool) {
 	r.expiresAt = now + r.ttl
 	r.hasEntry = true
 	return r.cached, true
+}
+
+// Flush drops the cached entry so the next Lookup re-resolves at the
+// authoritative DNS — the failover path after a client notices its cached
+// server is unresponsive.
+func (r *Resolver) Flush() {
+	if r.hasEntry {
+		r.auth.Release(r.cached)
+		r.hasEntry = false
+	}
 }
 
 // Stats reports lookup and miss counts.

@@ -1,0 +1,382 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cdnconsistency/internal/geo"
+)
+
+// Env describes the deployment a spec compiles against.
+type Env struct {
+	// Servers is the content-server count; server indices are 0-based.
+	Servers int
+	// Locs are per-server locations (regional failures); may be nil when
+	// the spec has no regional entries.
+	Locs []geo.Point
+	// ISPs are per-server ISP ids (random partition sampling); may be nil
+	// when the spec has no RandomISPs partitions.
+	ISPs []int
+	// Horizon is the run length; fractional times resolve against it.
+	Horizon time.Duration
+}
+
+// Op is a compiled fault event type.
+type Op int
+
+// Compiled event types. Down/Start events always have a matching Up/End
+// event unless the fault is permanent (crash-stop).
+const (
+	OpServerDown Op = iota + 1
+	OpServerUp
+	OpProviderDown
+	OpProviderUp
+	OpPartitionStart
+	OpPartitionEnd
+	OpOverloadStart
+	OpOverloadEnd
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpServerDown:
+		return "server-down"
+	case OpServerUp:
+		return "server-up"
+	case OpProviderDown:
+		return "provider-down"
+	case OpProviderUp:
+		return "provider-up"
+	case OpPartitionStart:
+		return "partition-start"
+	case OpPartitionEnd:
+		return "partition-end"
+	case OpOverloadStart:
+		return "overload-start"
+	case OpOverloadEnd:
+		return "overload-end"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Event is one compiled fault transition.
+type Event struct {
+	At time.Duration
+	Op Op
+	// Server is the 0-based server index for server/overload ops.
+	Server int
+	// ISPs is the partitioned ISP set for partition ops.
+	ISPs []int
+	// Group distinguishes concurrent partitions (partition ops only).
+	Group int
+	// Factor is the service-delay multiplier (overload ops only).
+	Factor float64
+}
+
+// Compile expands a spec into a time-sorted event schedule. Random draws
+// (victims, in-window times) come from rng, so identical (spec, env, seed)
+// triples produce identical schedules. Compile validates as it goes and
+// rejects out-of-range servers, bad fractions, and non-positive windows.
+func Compile(spec Spec, env Env, rng *rand.Rand) ([]Event, error) {
+	if env.Servers <= 0 {
+		return nil, fmt.Errorf("fault: env has %d servers", env.Servers)
+	}
+	if env.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: non-positive horizon %v", env.Horizon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault: nil rng")
+	}
+	c := &compiler{env: env, rng: rng}
+
+	for i, cr := range spec.Crashes {
+		if err := c.crash(cr); err != nil {
+			return nil, fmt.Errorf("fault: crashes[%d]: %w", i, err)
+		}
+	}
+	if spec.RandomCrashes != nil {
+		if err := c.randomCrashes(*spec.RandomCrashes); err != nil {
+			return nil, fmt.Errorf("fault: random_crashes: %w", err)
+		}
+	}
+	for i, w := range spec.ProviderOutages {
+		if err := c.outage(w); err != nil {
+			return nil, fmt.Errorf("fault: provider_outages[%d]: %w", i, err)
+		}
+	}
+	for i, p := range spec.Partitions {
+		if err := c.partition(p, i+1); err != nil {
+			return nil, fmt.Errorf("fault: partitions[%d]: %w", i, err)
+		}
+	}
+	for i, o := range spec.Overloads {
+		if err := c.overload(o); err != nil {
+			return nil, fmt.Errorf("fault: overloads[%d]: %w", i, err)
+		}
+	}
+	for i, r := range spec.Regional {
+		if err := c.regional(r); err != nil {
+			return nil, fmt.Errorf("fault: regional[%d]: %w", i, err)
+		}
+	}
+
+	// Stable order: time, then op, then server — scheduling order must not
+	// depend on spec listing order for simultaneous events.
+	sort.SliceStable(c.events, func(i, j int) bool {
+		a, b := c.events[i], c.events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Server < b.Server
+	})
+	return c.events, nil
+}
+
+type compiler struct {
+	env    Env
+	rng    *rand.Rand
+	events []Event
+}
+
+func (c *compiler) emit(e Event) { c.events = append(c.events, e) }
+
+// resolveAt turns an (absolute, fraction) pair into an absolute time.
+func (c *compiler) resolveAt(abs Duration, frac float64, name string) (time.Duration, error) {
+	if abs.D() < 0 {
+		return 0, fmt.Errorf("negative %s %v", name, abs.D())
+	}
+	if frac < 0 || frac > 1 {
+		return 0, fmt.Errorf("%s fraction %v outside [0, 1]", name, frac)
+	}
+	if abs.D() > 0 {
+		if abs.D() > c.env.Horizon {
+			return 0, fmt.Errorf("%s %v beyond horizon %v", name, abs.D(), c.env.Horizon)
+		}
+		return abs.D(), nil
+	}
+	return time.Duration(frac * float64(c.env.Horizon)), nil
+}
+
+// resolveWindow resolves a start plus a duration, requiring a positive
+// duration.
+func (c *compiler) resolveWindow(start Duration, startFrac float64, dur Duration, durFrac float64) (time.Duration, time.Duration, error) {
+	at, err := c.resolveAt(start, startFrac, "start")
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := c.resolveAt(dur, durFrac, "duration")
+	if err != nil {
+		return 0, 0, err
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("non-positive window duration")
+	}
+	return at, d, nil
+}
+
+func (c *compiler) checkServer(i int) error {
+	if i < 0 || i >= c.env.Servers {
+		return fmt.Errorf("server %d outside 0..%d", i, c.env.Servers-1)
+	}
+	return nil
+}
+
+func (c *compiler) crashAt(server int, at time.Duration, recoverAfter Duration) error {
+	if err := c.checkServer(server); err != nil {
+		return err
+	}
+	if recoverAfter.D() < 0 {
+		return fmt.Errorf("negative recover_after %v", recoverAfter.D())
+	}
+	c.emit(Event{At: at, Op: OpServerDown, Server: server})
+	if recoverAfter.D() > 0 {
+		c.emit(Event{At: at + recoverAfter.D(), Op: OpServerUp, Server: server})
+	}
+	return nil
+}
+
+func (c *compiler) crash(cr Crash) error {
+	at, err := c.resolveAt(cr.At, cr.AtFrac, "at")
+	if err != nil {
+		return err
+	}
+	return c.crashAt(cr.Server, at, cr.RecoverAfter)
+}
+
+// pickServers draws count distinct server indices via partial Fisher-Yates.
+func (c *compiler) pickServers(count int) []int {
+	n := c.env.Servers
+	if count > n {
+		count = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < count; i++ {
+		j := i + c.rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:count]
+}
+
+func (c *compiler) randomCrashes(rc RandomCrashes) error {
+	count := rc.Count
+	if count == 0 && rc.Frac > 0 {
+		if rc.Frac > 1 {
+			return fmt.Errorf("frac %v above 1", rc.Frac)
+		}
+		count = int(math.Ceil(rc.Frac * float64(c.env.Servers)))
+	}
+	if count <= 0 {
+		return fmt.Errorf("no victims: count and frac both unset")
+	}
+	start, frac := rc.WindowStart, rc.WindowFrac
+	if start == 0 && frac == 0 {
+		start, frac = 1.0/3, 1.0/3 // the classic middle third
+	}
+	if start < 0 || start >= 1 {
+		return fmt.Errorf("window_start %v outside [0, 1)", start)
+	}
+	if frac <= 0 || start+frac > 1 {
+		return fmt.Errorf("window [%v, %v+%v] outside (0, 1]", start, start, frac)
+	}
+	winStart := time.Duration(start * float64(c.env.Horizon))
+	winLen := time.Duration(frac * float64(c.env.Horizon))
+	for _, v := range c.pickServers(count) {
+		at := winStart + time.Duration(c.rng.Int63n(int64(winLen)))
+		if err := c.crashAt(v, at, rc.RecoverAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) outage(w Window) error {
+	at, d, err := c.resolveWindow(w.Start, w.StartFrac, w.Duration, w.DurFrac)
+	if err != nil {
+		return err
+	}
+	c.emit(Event{At: at, Op: OpProviderDown})
+	c.emit(Event{At: at + d, Op: OpProviderUp})
+	return nil
+}
+
+func (c *compiler) partition(p Partition, group int) error {
+	at, d, err := c.resolveWindow(p.Start, p.StartFrac, p.Duration, p.DurFrac)
+	if err != nil {
+		return err
+	}
+	isps := append([]int(nil), p.ISPs...)
+	if len(isps) == 0 {
+		if p.RandomISPs <= 0 {
+			return fmt.Errorf("no ISPs: isps and random_isps both unset")
+		}
+		all := uniqueISPs(c.env.ISPs)
+		if len(all) == 0 {
+			return fmt.Errorf("random_isps set but env has no ISP data")
+		}
+		k := p.RandomISPs
+		if k > len(all) {
+			k = len(all)
+		}
+		for i := 0; i < k; i++ {
+			j := i + c.rng.Intn(len(all)-i)
+			all[i], all[j] = all[j], all[i]
+		}
+		isps = all[:k]
+		sort.Ints(isps)
+	}
+	c.emit(Event{At: at, Op: OpPartitionStart, ISPs: isps, Group: group})
+	c.emit(Event{At: at + d, Op: OpPartitionEnd, ISPs: isps, Group: group})
+	return nil
+}
+
+func (c *compiler) overload(o Overload) error {
+	at, d, err := c.resolveWindow(o.Start, o.StartFrac, o.Duration, o.DurFrac)
+	if err != nil {
+		return err
+	}
+	if o.Factor <= 1 {
+		return fmt.Errorf("factor %v must be > 1", o.Factor)
+	}
+	var targets []int
+	if o.RandomServers > 0 {
+		targets = c.pickServers(o.RandomServers)
+	} else {
+		if err := c.checkServer(o.Server); err != nil {
+			return err
+		}
+		targets = []int{o.Server}
+	}
+	for _, t := range targets {
+		c.emit(Event{At: at, Op: OpOverloadStart, Server: t, Factor: o.Factor})
+		c.emit(Event{At: at + d, Op: OpOverloadEnd, Server: t})
+	}
+	return nil
+}
+
+func (c *compiler) regional(r Regional) error {
+	at, err := c.resolveAt(r.At, r.AtFrac, "at")
+	if err != nil {
+		return err
+	}
+	if r.RadiusKm <= 0 {
+		return fmt.Errorf("non-positive radius %v km", r.RadiusKm)
+	}
+	if len(c.env.Locs) != c.env.Servers {
+		return fmt.Errorf("regional fault needs per-server locations")
+	}
+	frac := r.Frac
+	if frac == 0 {
+		frac = 1
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("frac %v outside (0, 1]", frac)
+	}
+	var in []int
+	for i, loc := range c.env.Locs {
+		if distanceWithin(r, loc) {
+			in = append(in, i)
+		}
+	}
+	if len(in) == 0 {
+		return fmt.Errorf("no servers within %v km of (%v, %v)", r.RadiusKm, r.Lat, r.Lon)
+	}
+	count := int(math.Ceil(frac * float64(len(in))))
+	// Correlated but not perfectly simultaneous: victims drop within a
+	// short stagger of the event, the way a regional outage cascades.
+	for i := 0; i < count; i++ {
+		j := i + c.rng.Intn(len(in)-i)
+		in[i], in[j] = in[j], in[i]
+	}
+	const stagger = 5 * time.Second
+	for _, v := range in[:count] {
+		delta := time.Duration(c.rng.Int63n(int64(stagger)))
+		if err := c.crashAt(v, at+delta, r.RecoverAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func uniqueISPs(isps []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, i := range isps {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

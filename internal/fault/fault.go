@@ -1,0 +1,175 @@
+// Package fault declares and compiles deterministic fault scenarios for the
+// CDN simulation: crash-stop and crash-recovery of content servers, provider
+// outage windows, ISP-level network partitions, transient server overload,
+// and correlated regional failures around a geographic point.
+//
+// A Spec is declarative — it names what goes wrong and when, either at
+// absolute virtual times or as fractions of the run horizon — and Compile
+// turns it into a sorted event schedule against a concrete deployment
+// (server count, locations, ISPs, horizon). Random draws (victim selection,
+// in-window timing) come from the caller's seeded RNG, so the same spec,
+// deployment, and seed always yield the same schedule.
+//
+// The scenario families mirror the paper's Section 3.4 root causes of
+// real-CDN inconsistency: server failure and overload, and inter-ISP
+// disruption.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/geo"
+)
+
+// Duration is a time.Duration that (un)marshals JSON as either a Go
+// duration string ("30s", "2m") or a number of seconds.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string ("1m30s").
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s"-style strings or plain numbers of seconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(data, &secs); err != nil {
+		return fmt.Errorf("fault: duration must be a string or seconds: %s", data)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Crash fails one named server. RecoverAfter == 0 means crash-stop (the
+// server never returns); otherwise the server crash-recovers after that
+// long, losing its cached content and re-syncing from its parent.
+type Crash struct {
+	// Server is a 0-based content-server index (matching
+	// topology.Topology.Servers order).
+	Server int `json:"server"`
+	// At is the absolute failure time; AtFrac places it at a fraction of
+	// the run horizon instead when At is zero.
+	At     Duration `json:"at,omitempty"`
+	AtFrac float64  `json:"at_frac,omitempty"`
+	// RecoverAfter is the downtime; 0 is a permanent crash-stop.
+	RecoverAfter Duration `json:"recover_after,omitempty"`
+}
+
+// RandomCrashes fails Count (or ceil(Frac x servers)) distinct random
+// servers at uniform random times inside [WindowStart, WindowStart +
+// WindowFrac] x horizon.
+type RandomCrashes struct {
+	Count int     `json:"count,omitempty"`
+	Frac  float64 `json:"frac,omitempty"`
+	// RecoverAfter is the per-server downtime; 0 is crash-stop.
+	RecoverAfter Duration `json:"recover_after,omitempty"`
+	// WindowStart/WindowFrac bound the failure window as fractions of the
+	// horizon; both zero means the middle third of the run.
+	WindowStart float64 `json:"window_start,omitempty"`
+	WindowFrac  float64 `json:"window_frac,omitempty"`
+}
+
+// Window is one provider outage: the provider stops answering polls,
+// fetches, and lease renewals, and defers dissemination until it returns.
+type Window struct {
+	Start     Duration `json:"start,omitempty"`
+	StartFrac float64  `json:"start_frac,omitempty"`
+	// Duration is the outage length; DurFrac expresses it as a horizon
+	// fraction when Duration is zero.
+	Duration Duration `json:"duration,omitempty"`
+	DurFrac  float64  `json:"dur_frac,omitempty"`
+}
+
+// Partition isolates a set of ISPs from the rest of the network for a
+// window: messages across the cut are dropped (senders detect the loss only
+// via timeouts). ISPs inside the partition still reach each other.
+type Partition struct {
+	Start     Duration `json:"start,omitempty"`
+	StartFrac float64  `json:"start_frac,omitempty"`
+	Duration  Duration `json:"duration,omitempty"`
+	DurFrac   float64  `json:"dur_frac,omitempty"`
+	// ISPs lists the ISP ids cut off; RandomISPs instead samples that many
+	// of the deployment's ISPs.
+	ISPs       []int `json:"isps,omitempty"`
+	RandomISPs int   `json:"random_isps,omitempty"`
+}
+
+// Overload inflates one server's service delay (uplink serialization and
+// per-message processing) by Factor for a window, modeling transient
+// overload that slows, but does not stop, the replica.
+type Overload struct {
+	// Server is a 0-based server index; RandomServers instead samples that
+	// many distinct servers, all overloaded for the same window.
+	Server        int      `json:"server,omitempty"`
+	RandomServers int      `json:"random_servers,omitempty"`
+	Start         Duration `json:"start,omitempty"`
+	StartFrac     float64  `json:"start_frac,omitempty"`
+	Duration      Duration `json:"duration,omitempty"`
+	DurFrac       float64  `json:"dur_frac,omitempty"`
+	// Factor multiplies the server's service delay; must be > 1.
+	Factor float64 `json:"factor"`
+}
+
+// Regional fails servers within RadiusKm of a geographic center — a
+// correlated failure (regional power or backbone loss). Frac controls what
+// share of the in-radius servers fail (default 1: all of them).
+type Regional struct {
+	Lat      float64  `json:"lat"`
+	Lon      float64  `json:"lon"`
+	RadiusKm float64  `json:"radius_km"`
+	At       Duration `json:"at,omitempty"`
+	AtFrac   float64  `json:"at_frac,omitempty"`
+	// RecoverAfter is the downtime; 0 is crash-stop.
+	RecoverAfter Duration `json:"recover_after,omitempty"`
+	Frac         float64  `json:"frac,omitempty"`
+}
+
+// Spec is one declarative fault scenario. The zero Spec injects nothing.
+type Spec struct {
+	Crashes         []Crash        `json:"crashes,omitempty"`
+	RandomCrashes   *RandomCrashes `json:"random_crashes,omitempty"`
+	ProviderOutages []Window       `json:"provider_outages,omitempty"`
+	Partitions      []Partition    `json:"partitions,omitempty"`
+	Overloads       []Overload     `json:"overloads,omitempty"`
+	Regional        []Regional     `json:"regional,omitempty"`
+}
+
+// Empty reports whether the spec injects no faults at all.
+func (s Spec) Empty() bool {
+	return len(s.Crashes) == 0 && s.RandomCrashes == nil &&
+		len(s.ProviderOutages) == 0 && len(s.Partitions) == 0 &&
+		len(s.Overloads) == 0 && len(s.Regional) == 0
+}
+
+// ParseSpec decodes a JSON scenario. Unknown fields are rejected so typos
+// in hand-written scenario files fail loudly.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("fault: parse spec: %w", err)
+	}
+	return s, nil
+}
+
+// distanceWithin reports whether a server location lies inside the regional
+// failure radius.
+func distanceWithin(r Regional, loc geo.Point) bool {
+	return geo.DistanceKm(geo.Point{Lat: r.Lat, Lon: r.Lon}, loc) <= r.RadiusKm
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzCompile feeds arbitrary bytes through ParseSpec and, when they decode,
+// compiles the spec against a small deployment. The contract under fuzzing:
+// never panic, and any schedule that compiles is time-sorted with every
+// recoverable down event paired with a later up event.
+func FuzzCompile(f *testing.F) {
+	f.Add([]byte(`{"crashes": [{"server": 1, "at": "5m", "recover_after": "2m"}]}`))
+	f.Add([]byte(`{"random_crashes": {"frac": 0.5, "recover_after": 30}}`))
+	f.Add([]byte(`{"provider_outages": [{"start_frac": 0.4, "dur_frac": 0.2}]}`))
+	f.Add([]byte(`{"partitions": [{"start_frac": 0.1, "dur_frac": 0.3, "isps": [0, 2]}]}`))
+	f.Add([]byte(`{"overloads": [{"random_servers": 2, "start_frac": 0.2, "dur_frac": 0.1, "factor": 4}]}`))
+	f.Add([]byte(`{"regional": [{"lat": 10, "lon": 20, "radius_km": 5000, "at_frac": 0.5}]}`))
+
+	env := testEnv(8)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		evs, err := Compile(spec, env, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return
+		}
+		open := make(map[int]int) // server -> pending down events awaiting recovery
+		for i, e := range evs {
+			if i > 0 && e.At < evs[i-1].At {
+				t.Fatalf("schedule unsorted at %d: %+v", i, evs)
+			}
+			if e.At < 0 {
+				t.Fatalf("negative event time: %+v", e)
+			}
+			switch e.Op {
+			case OpServerDown:
+				open[e.Server]++
+			case OpServerUp:
+				open[e.Server]--
+				if open[e.Server] < 0 {
+					t.Fatalf("server %d recovered before crashing: %+v", e.Server, evs)
+				}
+			case OpOverloadStart:
+				if e.Factor <= 1 {
+					t.Fatalf("overload with factor %v compiled: %+v", e.Factor, e)
+				}
+			case OpPartitionStart, OpPartitionEnd:
+				if len(e.ISPs) == 0 {
+					t.Fatalf("partition event with no ISPs: %+v", e)
+				}
+			}
+			if e.At > env.Horizon+24*time.Hour {
+				t.Fatalf("event absurdly far past horizon: %+v", e)
+			}
+		}
+	})
+}

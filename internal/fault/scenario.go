@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Built-in named scenarios, expressed with horizon fractions so they fit any
+// run length. Victim counts scale with the deployment via Frac fields.
+var scenarios = map[string]func() Spec{
+	// crash: permanent crash-stop of an eighth of the fleet mid-run.
+	"crash": func() Spec {
+		return Spec{RandomCrashes: &RandomCrashes{Frac: 0.125}}
+	},
+	// churn: crash-recovery — the same eighth fails but returns after a
+	// short downtime with state loss, exercising re-join and re-sync.
+	"churn": func() Spec {
+		return Spec{RandomCrashes: &RandomCrashes{Frac: 0.125, RecoverAfter: Duration(3 * time.Minute)}}
+	},
+	// outage: the provider is unreachable for 15% of the run, starting at
+	// 40% — polls, fetches, and lease renewals all time out.
+	"outage": func() Spec {
+		return Spec{ProviderOutages: []Window{{StartFrac: 0.4, DurFrac: 0.15}}}
+	},
+	// partition: four random ISPs are cut off from the rest for the middle
+	// fifth of the run (the paper's inter-ISP disruption, Section 3.4.3).
+	"partition": func() Spec {
+		return Spec{Partitions: []Partition{{StartFrac: 0.4, DurFrac: 0.2, RandomISPs: 4}}}
+	},
+	// overload: a sixth of the fleet serves 8x slower for the middle
+	// quarter of the run (Section 3.4.5: overload inflates staleness
+	// without killing the replica).
+	"overload": func() Spec {
+		return Spec{Overloads: []Overload{{RandomServers: 10, StartFrac: 0.35, DurFrac: 0.25, Factor: 8}}}
+	},
+	// regional: a correlated European failure — every server within
+	// 1500 km of Frankfurt drops at 35% of the run and recovers after 4
+	// minutes.
+	"regional": func() Spec {
+		return Spec{Regional: []Regional{{
+			Lat: 50.11, Lon: 8.68, RadiusKm: 1500,
+			AtFrac: 0.35, RecoverAfter: Duration(4 * time.Minute),
+		}}}
+	},
+	// mixed: churn, a provider outage, and a partition together — the
+	// kitchen-sink robustness scenario.
+	"mixed": func() Spec {
+		return Spec{
+			RandomCrashes:   &RandomCrashes{Frac: 0.1, RecoverAfter: Duration(3 * time.Minute)},
+			ProviderOutages: []Window{{StartFrac: 0.7, DurFrac: 0.1}},
+			Partitions:      []Partition{{StartFrac: 0.25, DurFrac: 0.15, RandomISPs: 3}},
+		}
+	},
+}
+
+// Scenario returns a built-in scenario by name.
+func Scenario(name string) (Spec, error) {
+	mk, ok := scenarios[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("fault: unknown scenario %q (have %s)", name, strings.Join(ScenarioNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// ScenarioNames lists the built-in scenarios, sorted.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

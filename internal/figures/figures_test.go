@@ -120,6 +120,9 @@ func TestSimFigures(t *testing.T) {
 		{"ext-dns", ExtDNS},
 		{"ext-regime", ExtRegime},
 		{"ext-catalog", ExtCatalog},
+		{"ext-faults", ExtFaults},
+		{"ext-failover", ExtFailover},
+		{"fault-mixed", func(s SimScale) (*Table, error) { return FaultScenario(s, "mixed") }},
 		{"ablation-queue", AblationQueue},
 		{"ablation-proximity", AblationProximity},
 		{"ablation-adaptive", AblationAdaptive},

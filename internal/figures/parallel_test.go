@@ -22,6 +22,8 @@ func TestParallelFiguresMatchSerial(t *testing.T) {
 		{"fig17", Fig17},
 		{"fig23", Fig23},
 		{"ext-tree-failure", ExtTreeFailure},
+		{"ext-failover", ExtFailover},
+		{"fault-churn", func(s SimScale) (*Table, error) { return FaultScenario(s, "churn") }},
 		{"ablation-adaptive", AblationAdaptive},
 	}
 	for _, f := range figs {

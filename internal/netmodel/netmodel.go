@@ -63,7 +63,9 @@ type Config struct {
 	BaseDelay time.Duration
 	// InterISPDelay is added when source and destination ISPs differ;
 	// default 15 ms. This reproduces the paper's Section 3.4.3 finding
-	// that inter-ISP traffic inflates inconsistency.
+	// that inter-ISP traffic inflates inconsistency. A negative value is
+	// the explicit-zero sentinel: "no inter-ISP penalty", as opposed to
+	// the zero value which means "use the default".
 	InterISPDelay time.Duration
 	// DefaultUplinkKBps is used when an endpoint does not set its own;
 	// default 12500 KB/s (100 Mbit/s).
@@ -84,7 +86,13 @@ type Config struct {
 	DisableQueuing bool
 }
 
-func (c Config) withDefaults() Config {
+func (c Config) withDefaults() (Config, error) {
+	if c.LossProb < 0 {
+		return c, fmt.Errorf("netmodel: negative LossProb %v", c.LossProb)
+	}
+	if c.LossProb >= 1 {
+		return c, fmt.Errorf("netmodel: LossProb %v would never deliver; must be < 1", c.LossProb)
+	}
 	if c.PropagationKmPerSec <= 0 {
 		c.PropagationKmPerSec = 200000
 	}
@@ -93,45 +101,94 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InterISPDelay == 0 {
 		c.InterISPDelay = 15 * time.Millisecond
+	} else if c.InterISPDelay < 0 {
+		c.InterISPDelay = 0 // explicit "no penalty"
 	}
 	if c.DefaultUplinkKBps <= 0 {
 		c.DefaultUplinkKBps = 12500
 	}
-	if c.LossProb < 0 {
-		c.LossProb = 0
-	}
-	if c.LossProb >= 1 {
-		c.LossProb = 0.99 // a fully lossy link would never deliver
-	}
 	if c.RetransmitTimeout <= 0 {
 		c.RetransmitTimeout = time.Second
 	}
-	return c
+	return c, nil
 }
 
 // Network computes delivery delays and accumulates traffic accounting.
 // It is not safe for concurrent use; the discrete-event simulation is
 // single-threaded by design.
 type Network struct {
-	cfg       Config
-	rng       *rand.Rand
-	busyUntil map[string]time.Duration
-	acct      Accounting
+	cfg        Config
+	rng        *rand.Rand
+	busyUntil  map[string]time.Duration
+	acct       Accounting
+	partitions map[int]map[int]bool // partition group -> isolated ISP set
+	overload   map[string]float64   // endpoint ID -> service-delay multiplier
 }
 
-// New returns a Network with the given configuration. rng may be nil for a
-// fully deterministic model (no jitter even if JitterFrac is set).
-func New(cfg Config, rng *rand.Rand) *Network {
+// New returns a Network with the given configuration, or an error when the
+// configuration is invalid (e.g. LossProb outside [0, 1)). rng may be nil
+// for a fully deterministic model (no jitter even if JitterFrac is set).
+func New(cfg Config, rng *rand.Rand) (*Network, error) {
+	eff, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	return &Network{
-		cfg:       cfg.withDefaults(),
+		cfg:       eff,
 		rng:       rng,
 		busyUntil: make(map[string]time.Duration),
 		acct:      newAccounting(),
-	}
+	}, nil
 }
 
 // Config returns the effective (defaulted) configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetPartitionGroup installs an ISP-level partition: the listed ISPs are cut
+// off from every ISP outside the set until ClearPartitionGroup(group). ISPs
+// inside the set still reach each other. Groups are independent, so
+// overlapping partitions compose (a path is cut if any group cuts it).
+func (n *Network) SetPartitionGroup(group int, isps []int) {
+	if n.partitions == nil {
+		n.partitions = make(map[int]map[int]bool)
+	}
+	set := make(map[int]bool, len(isps))
+	for _, i := range isps {
+		set[i] = true
+	}
+	n.partitions[group] = set
+}
+
+// ClearPartitionGroup heals the partition installed under group.
+func (n *Network) ClearPartitionGroup(group int) { delete(n.partitions, group) }
+
+// Reachable reports whether a message from one endpoint can currently reach
+// the other, i.e. no active partition separates their ISPs.
+func (n *Network) Reachable(from, to Endpoint) bool {
+	for _, set := range n.partitions {
+		if set[from.ISP] != set[to.ISP] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetOverload multiplies the named endpoint's service delay — its uplink
+// serialization and per-message processing overhead — by factor until
+// ClearOverload. Factors <= 1 are ignored. Models transient overload that
+// slows a replica without killing it (paper Section 3.4.5).
+func (n *Network) SetOverload(id string, factor float64) {
+	if factor <= 1 {
+		return
+	}
+	if n.overload == nil {
+		n.overload = make(map[string]float64)
+	}
+	n.overload[id] = factor
+}
+
+// ClearOverload restores the named endpoint's normal service delay.
+func (n *Network) ClearOverload(id string) { delete(n.overload, id) }
 
 // PropagationDelay returns the one-way propagation component between two
 // endpoints, excluding transmission and queuing.
@@ -162,6 +219,12 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 		sizeKB = 0
 	}
 	tx := n.transmissionDelay(from, sizeKB)
+	var slowdown time.Duration
+	if factor, ok := n.overload[from.ID]; ok {
+		// An overloaded sender serializes slower and adds processing lag.
+		tx = time.Duration(float64(tx) * factor)
+		slowdown = time.Duration(float64(n.cfg.BaseDelay) * (factor - 1))
+	}
 	start := now
 	if !n.cfg.DisableQueuing {
 		if busy := n.busyUntil[from.ID]; busy > start {
@@ -173,7 +236,7 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 	if n.cfg.JitterFrac > 0 && n.rng != nil {
 		prop += time.Duration(n.rng.Float64() * n.cfg.JitterFrac * float64(prop))
 	}
-	arrival := start + tx + prop
+	arrival := start + tx + prop + slowdown
 
 	km := geo.DistanceKm(from.Loc, to.Loc)
 	n.acct.record(class, km, sizeKB)

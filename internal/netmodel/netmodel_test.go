@@ -16,8 +16,16 @@ var (
 	tokyo   = Endpoint{ID: "tyo", Loc: geo.Point{Lat: 35.6762, Lon: 139.6503}, ISP: 2}
 )
 
+func mustNew(cfg Config, rng *rand.Rand) *Network {
+	n, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func TestPropagationDelayGrowsWithDistance(t *testing.T) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	near := n.PropagationDelay(atlanta, atlanta)
 	mid := n.PropagationDelay(atlanta, london)
 	if mid <= near {
@@ -31,7 +39,7 @@ func TestPropagationDelayGrowsWithDistance(t *testing.T) {
 }
 
 func TestInterISPPenalty(t *testing.T) {
-	n := New(Config{InterISPDelay: 15 * time.Millisecond}, nil)
+	n := mustNew(Config{InterISPDelay: 15 * time.Millisecond}, nil)
 	sameISP := Endpoint{ID: "x", Loc: tokyo.Loc, ISP: atlanta.ISP}
 	intra := n.PropagationDelay(atlanta, sameISP)
 	inter := n.PropagationDelay(atlanta, tokyo)
@@ -40,17 +48,25 @@ func TestInterISPPenalty(t *testing.T) {
 	}
 }
 
-func TestInterISPPenaltyCanBeNegativeDisabled(t *testing.T) {
-	n := New(Config{InterISPDelay: -1}, nil) // explicit negative keeps it
+func TestInterISPPenaltyExplicitlyDisabled(t *testing.T) {
+	// A negative InterISPDelay is the explicit-zero sentinel: no penalty,
+	// instead of the 15 ms default that plain zero selects.
+	n := mustNew(Config{InterISPDelay: -1}, nil)
+	if got := n.Config().InterISPDelay; got != 0 {
+		t.Errorf("sentinel InterISPDelay resolved to %v, want 0", got)
+	}
 	inter := n.PropagationDelay(atlanta, tokyo)
 	intra := n.PropagationDelay(atlanta, Endpoint{ID: "x", Loc: tokyo.Loc, ISP: atlanta.ISP})
-	if inter >= intra {
-		t.Errorf("negative InterISPDelay not applied: inter %v intra %v", inter, intra)
+	if inter != intra {
+		t.Errorf("disabled penalty still applied: inter %v intra %v", inter, intra)
+	}
+	if def := mustNew(Config{}, nil).Config().InterISPDelay; def != 15*time.Millisecond {
+		t.Errorf("zero InterISPDelay default = %v, want 15ms", def)
 	}
 }
 
 func TestOutputPortQueuing(t *testing.T) {
-	n := New(Config{DefaultUplinkKBps: 100}, nil) // 100 KB/s: 100 KB takes 1 s
+	n := mustNew(Config{DefaultUplinkKBps: 100}, nil) // 100 KB/s: 100 KB takes 1 s
 	const size = 100.0
 	a1 := n.Send(atlanta, london, size, ClassUpdate, 0)
 	a2 := n.Send(atlanta, london, size, ClassUpdate, 0)
@@ -65,7 +81,7 @@ func TestOutputPortQueuing(t *testing.T) {
 }
 
 func TestQueueDrains(t *testing.T) {
-	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	n := mustNew(Config{DefaultUplinkKBps: 100}, nil)
 	n.Send(atlanta, london, 100, ClassUpdate, 0)
 	// After the uplink frees (1s), a later send is not queued.
 	a := n.Send(atlanta, london, 100, ClassUpdate, 5*time.Second)
@@ -80,7 +96,7 @@ func TestQueueDrains(t *testing.T) {
 }
 
 func TestDisableQueuing(t *testing.T) {
-	n := New(Config{DefaultUplinkKBps: 100, DisableQueuing: true}, nil)
+	n := mustNew(Config{DefaultUplinkKBps: 100, DisableQueuing: true}, nil)
 	a1 := n.Send(atlanta, london, 100, ClassUpdate, 0)
 	a2 := n.Send(atlanta, london, 100, ClassUpdate, 0)
 	if a1 != a2 {
@@ -89,7 +105,7 @@ func TestDisableQueuing(t *testing.T) {
 }
 
 func TestQueuingSeparatePerSender(t *testing.T) {
-	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	n := mustNew(Config{DefaultUplinkKBps: 100}, nil)
 	n.Send(atlanta, london, 1000, ClassUpdate, 0) // 10s on atlanta's uplink
 	// tokyo's uplink is independent.
 	a := n.Send(tokyo, london, 100, ClassUpdate, 0)
@@ -100,7 +116,7 @@ func TestQueuingSeparatePerSender(t *testing.T) {
 }
 
 func TestEndpointUplinkOverride(t *testing.T) {
-	n := New(Config{DefaultUplinkKBps: 100}, nil)
+	n := mustNew(Config{DefaultUplinkKBps: 100}, nil)
 	fast := atlanta
 	fast.ID = "fast"
 	fast.UplinkKBps = 10000
@@ -112,7 +128,7 @@ func TestEndpointUplinkOverride(t *testing.T) {
 }
 
 func TestAccounting(t *testing.T) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	n.Send(atlanta, london, 2, ClassUpdate, 0)
 	n.Send(atlanta, london, 1, ClassLight, 0)
 	n.Send(atlanta, london, 1, ClassLight, 0)
@@ -139,7 +155,7 @@ func TestAccounting(t *testing.T) {
 }
 
 func TestAccountingSnapshotIsolated(t *testing.T) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	n.Send(atlanta, london, 1, ClassUpdate, 0)
 	snap := n.Accounting()
 	n.Send(atlanta, london, 1, ClassUpdate, 0)
@@ -149,7 +165,7 @@ func TestAccountingSnapshotIsolated(t *testing.T) {
 }
 
 func TestClassesSortedAndString(t *testing.T) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	n.Send(atlanta, london, 1, ClassContent, 0)
 	n.Send(atlanta, london, 1, ClassUpdate, 0)
 	got := n.Accounting().Classes()
@@ -164,10 +180,10 @@ func TestClassesSortedAndString(t *testing.T) {
 
 func TestJitterBoundedAndDeterministicWithSeed(t *testing.T) {
 	mk := func() *Network {
-		return New(Config{JitterFrac: 0.2}, rand.New(rand.NewSource(5)))
+		return mustNew(Config{JitterFrac: 0.2}, rand.New(rand.NewSource(5)))
 	}
 	n1, n2 := mk(), mk()
-	base := New(Config{}, nil).PropagationDelay(atlanta, london)
+	base := mustNew(Config{}, nil).PropagationDelay(atlanta, london)
 	for i := 0; i < 100; i++ {
 		a1 := n1.Send(atlanta, london, 1, ClassLight, time.Duration(i)*time.Second)
 		a2 := n2.Send(atlanta, london, 1, ClassLight, time.Duration(i)*time.Second)
@@ -185,7 +201,7 @@ func TestJitterBoundedAndDeterministicWithSeed(t *testing.T) {
 }
 
 func TestNegativeSizeClamped(t *testing.T) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	a := n.Send(atlanta, london, -5, ClassLight, 0)
 	if a < 0 {
 		t.Errorf("negative-size send arrived at %v", a)
@@ -199,7 +215,7 @@ func TestNegativeSizeClamped(t *testing.T) {
 // same sender arrive in FIFO order per destination when sizes are equal.
 func TestPropertySendCausalAndMonotone(t *testing.T) {
 	f := func(sizes []uint8) bool {
-		n := New(Config{DefaultUplinkKBps: 50}, nil)
+		n := mustNew(Config{DefaultUplinkKBps: 50}, nil)
 		var prev time.Duration
 		for i, s := range sizes {
 			now := time.Duration(i) * time.Millisecond
@@ -220,7 +236,7 @@ func TestPropertySendCausalAndMonotone(t *testing.T) {
 }
 
 func BenchmarkSend(b *testing.B) {
-	n := New(Config{}, nil)
+	n := mustNew(Config{}, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n.Send(atlanta, london, 1, ClassUpdate, time.Duration(i)*time.Microsecond)
@@ -228,8 +244,8 @@ func BenchmarkSend(b *testing.B) {
 }
 
 func TestLossyPathRetransmits(t *testing.T) {
-	lossless := New(Config{}, nil)
-	lossy := New(Config{LossProb: 0.5, RetransmitTimeout: time.Second}, rand.New(rand.NewSource(7)))
+	lossless := mustNew(Config{}, nil)
+	lossy := mustNew(Config{LossProb: 0.5, RetransmitTimeout: time.Second}, rand.New(rand.NewSource(7)))
 
 	var slower, n int
 	base := lossless.Send(atlanta, london, 1, ClassUpdate, 0)
@@ -255,23 +271,92 @@ func TestLossyPathRetransmits(t *testing.T) {
 	}
 }
 
-func TestLossProbClamped(t *testing.T) {
-	n := New(Config{LossProb: 5, RetransmitTimeout: time.Millisecond}, rand.New(rand.NewSource(8)))
-	// Must terminate despite LossProb > 1 (clamped to 0.99).
-	a := n.Send(atlanta, london, 1, ClassLight, 0)
-	if a <= 0 {
-		t.Errorf("arrival = %v", a)
+func TestLossProbOutOfRangeRejected(t *testing.T) {
+	for _, p := range []float64{1, 1.5, 5, -0.1, -1} {
+		if _, err := New(Config{LossProb: p}, rand.New(rand.NewSource(8))); err == nil {
+			t.Errorf("LossProb %v accepted", p)
+		}
 	}
-	neg := New(Config{LossProb: -1}, nil)
-	if got := neg.Config().LossProb; got != 0 {
-		t.Errorf("negative LossProb kept: %v", got)
+	if _, err := New(Config{LossProb: 0.99}, rand.New(rand.NewSource(8))); err != nil {
+		t.Errorf("LossProb 0.99 rejected: %v", err)
 	}
 }
 
 func TestLossWithoutRngIsLossless(t *testing.T) {
-	n := New(Config{LossProb: 0.9}, nil)
-	base := New(Config{}, nil)
+	n := mustNew(Config{LossProb: 0.9}, nil)
+	base := mustNew(Config{}, nil)
 	if n.Send(atlanta, london, 1, ClassLight, 0) != base.Send(atlanta, london, 1, ClassLight, 0) {
 		t.Error("loss applied without an rng")
+	}
+}
+
+func TestPartitionGroupsCutAndHeal(t *testing.T) {
+	n := mustNew(Config{}, nil)
+	if !n.Reachable(atlanta, tokyo) {
+		t.Fatal("unpartitioned endpoints unreachable")
+	}
+	n.SetPartitionGroup(1, []int{tokyo.ISP})
+	if n.Reachable(atlanta, tokyo) || n.Reachable(tokyo, atlanta) {
+		t.Error("partition did not cut cross-ISP path")
+	}
+	if !n.Reachable(atlanta, london) {
+		t.Error("partition cut a path between two outside ISPs")
+	}
+	inTokyo := Endpoint{ID: "tyo2", Loc: tokyo.Loc, ISP: tokyo.ISP}
+	if !n.Reachable(tokyo, inTokyo) {
+		t.Error("partition cut a path inside the partitioned set")
+	}
+	n.ClearPartitionGroup(1)
+	if !n.Reachable(atlanta, tokyo) {
+		t.Error("healed partition still cutting")
+	}
+}
+
+func TestPartitionGroupsCompose(t *testing.T) {
+	n := mustNew(Config{}, nil)
+	n.SetPartitionGroup(1, []int{atlanta.ISP})
+	n.SetPartitionGroup(2, []int{tokyo.ISP})
+	if n.Reachable(atlanta, tokyo) {
+		t.Error("path across two partitions reachable")
+	}
+	n.ClearPartitionGroup(1)
+	if n.Reachable(atlanta, tokyo) {
+		t.Error("remaining partition no longer cutting")
+	}
+	if !n.Reachable(atlanta, london) {
+		t.Error("unrelated path cut")
+	}
+}
+
+func TestOverloadInflatesServiceDelay(t *testing.T) {
+	mk := func() *Network { return mustNew(Config{DefaultUplinkKBps: 100}, nil) }
+	base := mk().Send(atlanta, london, 100, ClassUpdate, 0) // 1 s tx
+
+	n := mk()
+	n.SetOverload(atlanta.ID, 4)
+	slow := n.Send(atlanta, london, 100, ClassUpdate, 0)
+	// 4x the 1 s transmission plus 3x the 2 ms base processing delay.
+	want := base + 3*time.Second + 6*time.Millisecond
+	if slow != want {
+		t.Errorf("overloaded send arrived %v, want %v (base %v)", slow, want, base)
+	}
+	// Receiving is unaffected; only the overloaded sender's uplink slows.
+	if got := n.Send(london, atlanta, 100, ClassUpdate, 0); got != base {
+		t.Errorf("send toward overloaded server took %v, want %v", got, base)
+	}
+
+	n.ClearOverload(atlanta.ID)
+	if got := n.Send(atlanta, london, 100, ClassUpdate, 20*time.Second) - 20*time.Second; got != base {
+		t.Errorf("cleared overload still slow: %v vs %v", got, base)
+	}
+}
+
+func TestOverloadIgnoresBadFactor(t *testing.T) {
+	n := mustNew(Config{DefaultUplinkKBps: 100}, nil)
+	n.SetOverload(atlanta.ID, 1)
+	n.SetOverload(atlanta.ID, 0.5)
+	base := mustNew(Config{DefaultUplinkKBps: 100}, nil).Send(atlanta, london, 100, ClassUpdate, 0)
+	if got := n.Send(atlanta, london, 100, ClassUpdate, 0); got != base {
+		t.Errorf("factor <= 1 changed delay: %v vs %v", got, base)
 	}
 }

@@ -206,7 +206,10 @@ func (t *Tree) Add(loc geo.Point, locs []geo.Point, degree int, alive []bool) (i
 // Remove detaches a failed node and re-attaches each of its children (with
 // their subtrees) to the nearest remaining live node with spare degree,
 // implementing the paper's supernodes-having-lost-parents repair rule.
-// The root cannot be removed. alive tracks prior removals.
+// The root cannot be removed. alive tracks prior removals; a node already
+// marked dead but still wired into the tree (failure observed before the
+// structure reacted, e.g. detected later via poll timeouts) can still be
+// removed — only a node already detached is rejected.
 func (t *Tree) Remove(failed int, locs []geo.Point, degree int, alive []bool) error {
 	if failed <= 0 || failed >= len(t.parent) {
 		return fmt.Errorf("overlay: cannot remove node %d", failed)
@@ -214,7 +217,7 @@ func (t *Tree) Remove(failed int, locs []geo.Point, degree int, alive []bool) er
 	if len(locs) != len(t.parent) || len(alive) != len(t.parent) {
 		return fmt.Errorf("overlay: locs/alive length mismatch")
 	}
-	if !alive[failed] {
+	if t.parent[failed] == NoParent && len(t.children[failed]) == 0 {
 		return fmt.Errorf("overlay: node %d already removed", failed)
 	}
 	alive[failed] = false
@@ -249,6 +252,48 @@ func (t *Tree) Remove(failed int, locs []geo.Point, degree int, alive []bool) er
 		t.parent[o] = best
 		t.children[best] = append(t.children[best], o)
 	}
+	t.recomputeDepths()
+	return nil
+}
+
+// Reattach re-joins a previously removed node after recovery: it attaches
+// under the nearest live node with spare degree — the same rule a newly
+// joined node follows — and marks it live again. The node must currently be
+// removed (alive[node] false); its subtree, if Remove left one behind, rides
+// along.
+func (t *Tree) Reattach(node int, locs []geo.Point, degree int, alive []bool) error {
+	if node <= 0 || node >= len(t.parent) {
+		return fmt.Errorf("overlay: cannot reattach node %d", node)
+	}
+	if degree < 1 {
+		return fmt.Errorf("overlay: degree %d < 1", degree)
+	}
+	if len(locs) != len(t.parent) || len(alive) != len(t.parent) {
+		return fmt.Errorf("overlay: locs/alive length mismatch")
+	}
+	if alive[node] {
+		return fmt.Errorf("overlay: node %d is already attached", node)
+	}
+	best := -1
+	bestD := 0.0
+	for j := range t.parent {
+		if !alive[j] || j == node || len(t.children[j]) >= degree {
+			continue
+		}
+		if inSubtree(t, node, j) {
+			continue // attaching under a descendant would form a cycle
+		}
+		d := geo.DistanceKm(locs[node], locs[j])
+		if best == -1 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	if best == -1 {
+		return fmt.Errorf("overlay: no live parent with spare degree for node %d", node)
+	}
+	alive[node] = true
+	t.parent[node] = best
+	t.children[best] = append(t.children[best], node)
 	t.recomputeDepths()
 	return nil
 }
