@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments fuzz
+.PHONY: check build vet test race bench experiments fuzz audit-smoke
 
 check: build vet race
 
@@ -24,6 +24,11 @@ bench:
 # Fast full regeneration pass; see EXPERIMENTS.md for the paper-scale run.
 experiments:
 	$(GO) run ./cmd/experiments -scale small -metrics
+
+# Audited interrupt/resume smoke: short sweep under the invariant auditor,
+# SIGTERM mid-run, resume from the checkpoint, require byte-identical stdout.
+audit-smoke:
+	./scripts/audit_smoke.sh
 
 # Short fuzz smoke over the tree fail/recover repair and the fault-scenario
 # compiler (one -fuzz pattern per package run, as go test requires).

@@ -9,13 +9,22 @@
 //	cdnsim -system HAT                     # one of the paper's named systems
 //	cdnsim -system TTL -faults churn -failover
 //	cdnsim -faults @scenario.json          # hand-written fault spec
+//	cdnsim -system HAT -audit              # run under the invariant auditor
+//	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
+//
+// SIGINT/SIGTERM cancels the simulation promptly at its next event-loop
+// tick; -timeout bounds the run's wall-clock time the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cdnconsistency/internal/cdn"
@@ -26,13 +35,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cdnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
 	var (
 		system    = fs.String("system", "", "named system: Push, Invalidation, TTL, Self, Hybrid, HAT")
@@ -48,9 +59,20 @@ func run(args []string) error {
 		switching = fs.Bool("switch", false, "users switch servers every visit (Figure 24 scenario)")
 		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
+		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
+		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout < 0 || *auditCad < 0 {
+		return fmt.Errorf("-timeout and -audit-cadence must be >= 0")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	sys, err := resolveSystem(*system, *method, *infra)
@@ -80,11 +102,15 @@ func run(args []string) error {
 	if *failover {
 		opts = append(opts, core.WithFailover())
 	}
+	if *audit {
+		opts = append(opts, core.WithAudit(*auditCad))
+	}
+	opts = append(opts, core.WithContext(ctx))
 	res, err := core.Run(sys, opts...)
 	if err != nil {
 		return err
 	}
-	printResult(sys, res)
+	printResult(stdout, sys, res)
 	return nil
 }
 
@@ -140,38 +166,38 @@ func resolveFaults(arg string) (fault.Spec, error) {
 	return fault.Scenario(arg)
 }
 
-func printResult(sys core.System, res *cdn.Result) {
-	fmt.Printf("system\t%s (%v on %v)\n", sys.Name, sys.Method, sys.Infra)
-	fmt.Printf("tree_depth\t%d\n", res.TreeDepth)
+func printResult(w io.Writer, sys core.System, res *cdn.Result) {
+	fmt.Fprintf(w, "system\t%s (%v on %v)\n", sys.Name, sys.Method, sys.Infra)
+	fmt.Fprintf(w, "tree_depth\t%d\n", res.TreeDepth)
 	if res.Supernodes > 0 {
-		fmt.Printf("supernodes\t%d\n", res.Supernodes)
+		fmt.Fprintf(w, "supernodes\t%d\n", res.Supernodes)
 	}
 	ss, err := stats.Summarize(res.ServerAvgInconsistency)
 	if err == nil {
-		fmt.Printf("server_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
+		fmt.Fprintf(w, "server_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
 			res.MeanServerInconsistency(), ss.P5, ss.Median, ss.P95)
 	}
 	us, err := stats.Summarize(res.UserAvgInconsistency)
 	if err == nil {
-		fmt.Printf("user_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
+		fmt.Fprintf(w, "user_inconsistency_s\tmean=%.3f p5=%.3f median=%.3f p95=%.3f\n",
 			res.MeanUserInconsistency(), us.P5, us.Median, us.P95)
 	}
-	fmt.Printf("update_msgs_to_servers\t%d\n", res.UpdateMsgsToServers)
-	fmt.Printf("update_msgs_from_provider\t%d\n", res.UpdateMsgsFromProvider)
-	fmt.Printf("light_msgs\t%d\n", res.LightMsgs)
+	fmt.Fprintf(w, "update_msgs_to_servers\t%d\n", res.UpdateMsgsToServers)
+	fmt.Fprintf(w, "update_msgs_from_provider\t%d\n", res.UpdateMsgsFromProvider)
+	fmt.Fprintf(w, "light_msgs\t%d\n", res.LightMsgs)
 	for _, class := range res.Accounting.Classes() {
 		tot := res.Accounting.ByClass[class]
-		fmt.Printf("traffic_%v\tmsgs=%d km=%.0f kmKB=%.0f\n", class, tot.Messages, tot.Km, tot.KmKB)
+		fmt.Fprintf(w, "traffic_%v\tmsgs=%d km=%.0f kmKB=%.0f\n", class, tot.Messages, tot.Km, tot.KmKB)
 	}
-	fmt.Printf("user_inconsistent_observation_frac\t%.4f\n", res.InconsistentObservationFrac())
+	fmt.Fprintf(w, "user_inconsistent_observation_frac\t%.4f\n", res.InconsistentObservationFrac())
 	if res.Crashes > 0 || res.FailedVisits > 0 || res.StaleObservations > 0 {
-		fmt.Printf("crashes\t%d recovered=%d mean_recovery_s=%.1f\n",
+		fmt.Fprintf(w, "crashes\t%d recovered=%d mean_recovery_s=%.1f\n",
 			res.Crashes, res.Recoveries, res.MeanRecoverySeconds())
-		fmt.Printf("failed_visits\t%d frac=%.4f user_failovers=%d\n",
+		fmt.Fprintf(w, "failed_visits\t%d frac=%.4f user_failovers=%d\n",
 			res.FailedVisits, res.FailedVisitFrac(), res.UserFailovers)
-		fmt.Printf("stale_serve_frac\t%.4f\n", res.StaleServeFrac())
-		fmt.Printf("failover_actions\treparents=%d ttl_fallbacks=%d\n",
+		fmt.Fprintf(w, "stale_serve_frac\t%.4f\n", res.StaleServeFrac())
+		fmt.Fprintf(w, "failover_actions\treparents=%d ttl_fallbacks=%d\n",
 			res.ServerReparents, res.TTLFallbacks)
 	}
-	fmt.Printf("events\t%d\n", res.Events)
+	fmt.Fprintf(w, "events\t%d\n", res.Events)
 }

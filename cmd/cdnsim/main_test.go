@@ -2,30 +2,17 @@ package main
 
 import (
 	"bytes"
-	"io"
-	"os"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
 
-func captureStdout(t *testing.T, f func() error) (string, error) {
+func runCLI(t *testing.T, args []string) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	defer func() { os.Stdout = old }()
-	errCh := make(chan error, 1)
-	go func() { errCh <- f() }()
-	runErr := <-errCh
-	w.Close()
 	var buf bytes.Buffer
-	if _, err := io.Copy(&buf, r); err != nil {
-		t.Fatal(err)
-	}
-	return buf.String(), runErr
+	err := run(context.Background(), args, &buf)
+	return buf.String(), err
 }
 
 func small(extra ...string) []string {
@@ -33,7 +20,7 @@ func small(extra ...string) []string {
 }
 
 func TestRunNamedSystem(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run(small("-system", "HAT")) })
+	out, err := runCLI(t, small("-system", "HAT"))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -50,9 +37,7 @@ func TestRunMethodInfraCombos(t *testing.T) {
 		{"Self", "Hybrid"}, {"AdaptiveTTL", "Unicast"},
 	}
 	for _, c := range combos {
-		out, err := captureStdout(t, func() error {
-			return run(small("-method", c[0], "-infra", c[1]))
-		})
+		out, err := runCLI(t, small("-method", c[0], "-infra", c[1]))
 		if err != nil {
 			t.Fatalf("%v: %v", c, err)
 		}
@@ -63,9 +48,7 @@ func TestRunMethodInfraCombos(t *testing.T) {
 }
 
 func TestRunSwitchScenario(t *testing.T) {
-	out, err := captureStdout(t, func() error {
-		return run(small("-system", "TTL", "-switch"))
-	})
+	out, err := runCLI(t, small("-system", "TTL", "-switch"))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -81,9 +64,10 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-infra", "NotAnInfra"},
 		{"-servers", "0"},
 		{"-badflag"},
+		{"-timeout", "-1s"},
 	}
 	for _, args := range cases {
-		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+		if _, err := runCLI(t, args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -94,9 +78,7 @@ func TestRunExtensionMethods(t *testing.T) {
 		{"Lease", "Unicast"}, {"Regime", "Unicast"}, {"Push", "Broadcast"},
 	}
 	for _, c := range combos {
-		out, err := captureStdout(t, func() error {
-			return run(small("-method", c[0], "-infra", c[1]))
-		})
+		out, err := runCLI(t, small("-method", c[0], "-infra", c[1]))
 		if err != nil {
 			t.Fatalf("%v: %v", c, err)
 		}
@@ -105,9 +87,50 @@ func TestRunExtensionMethods(t *testing.T) {
 		}
 	}
 	// Invalid pairings surface as errors.
-	if _, err := captureStdout(t, func() error {
-		return run(small("-method", "Lease", "-infra", "Multicast"))
-	}); err == nil {
+	if _, err := runCLI(t, small("-method", "Lease", "-infra", "Multicast")); err == nil {
 		t.Error("Lease/Multicast accepted")
+	}
+}
+
+// -audit runs the whole simulation under the invariant auditor; a healthy
+// run (even with faults and failover) prints the same metrics it would
+// without it.
+func TestRunWithAudit(t *testing.T) {
+	plain, err := runCLI(t, small("-system", "HAT"))
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	audited, err := runCLI(t, small("-system", "HAT", "-audit", "-audit-cadence", "5s"))
+	if err != nil {
+		t.Fatalf("audited run: %v", err)
+	}
+	// The auditor adds engine events, so the trailing events line differs;
+	// everything above it must be identical.
+	trim := func(s string) string {
+		i := strings.LastIndex(s, "events\t")
+		if i < 0 {
+			t.Fatalf("no events line in:\n%s", s)
+		}
+		return s[:i]
+	}
+	if trim(plain) != trim(audited) {
+		t.Errorf("auditing changed the metrics:\n--- plain ---\n%s--- audited ---\n%s", plain, audited)
+	}
+	if _, err := runCLI(t, small("-system", "TTL", "-faults", "mixed", "-failover", "-audit")); err != nil {
+		t.Errorf("audited faulty run reported a violation: %v", err)
+	}
+}
+
+// A cancelled context aborts the run instead of printing partial metrics.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, small("-system", "TTL"), &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("cancelled run printed output:\n%s", buf.String())
 	}
 }

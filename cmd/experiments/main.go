@@ -8,47 +8,89 @@
 // deterministic from its explicit seed and results are emitted in
 // submission order, so stdout is byte-identical at any parallelism.
 //
+// Runs are interruptible and resumable: SIGINT/SIGTERM cancels in-flight
+// simulations promptly, and with -checkpoint every finished figure is
+// journaled (atomic rename) so a later -resume re-emits recorded outputs
+// verbatim and computes only the missing figures — the resumed sweep's
+// stdout is byte-identical to an uninterrupted run's.
+//
 // Usage:
 //
-//	experiments                 # everything at default (paper-like) scale
-//	experiments -scale small    # fast pass
-//	experiments -only fig22     # a single figure
-//	experiments -parallel 1     # serial run (identical output)
-//	experiments -metrics        # per-figure wall/event/alloc summary on stderr
+//	experiments                      # everything at default (paper-like) scale
+//	experiments -scale small         # fast pass
+//	experiments -only fig22,fig23    # a comma-separated figure subset
+//	experiments -parallel 1          # serial run (identical output)
+//	experiments -metrics             # per-figure wall/event/alloc summary on stderr
+//	experiments -audit               # run every simulation under the invariant auditor
+//	experiments -checkpoint d        # journal finished figures into directory d
+//	experiments -resume d            # continue an interrupted sweep from d
+//	experiments -timeout 10m         # per-figure deadline
+//	experiments -stuck 2m            # report (not kill) figures still running after 2m
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"cdnconsistency/internal/checkpoint"
 	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/figures"
 	"cdnconsistency/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First signal: cancel the sweep — in-flight simulations abort at their
+	// next event-loop tick, the journal already holds every finished figure,
+	// and run returns with a resume hint. Second signal: the default handler
+	// kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// syncWriter serializes writes from the ordered-emit path and the stuck-job
+// watchdog (which reports from a timer goroutine).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		scaleName = fs.String("scale", "paper", "scale: paper or small")
-		only      = fs.String("only", "", "run a single figure id (e.g. fig03, fig22, ablation-queue)")
+		only      = fs.String("only", "", "comma-separated figure ids to run (e.g. fig03,fig22,ablation-queue)")
 		format    = fs.String("format", "text", "output format: text or markdown")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = serial; output is identical at any value)")
 		metrics   = fs.Bool("metrics", false, "print a per-figure timing/event/allocation summary to stderr")
 		faults    = fs.String("faults", "", "comma-separated fault scenarios to run as fault-<name> figures ("+strings.Join(fault.ScenarioNames(), ", ")+"; \"all\" for every one)")
+		audit     = fs.Bool("audit", false, "run every simulation under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
+		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
+		ckDirFlag = fs.String("checkpoint", "", "journal finished figures into this directory (atomic; survives SIGKILL)")
+		resumeDir = fs.String("resume", "", "resume an interrupted sweep from this checkpoint directory, re-emitting recorded figures verbatim")
+		timeout   = fs.Duration("timeout", 0, "per-figure deadline; a figure exceeding it aborts the sweep (0 = none)")
+		stuck     = fs.Duration("stuck", 0, "report a figure still running after this wall-clock duration to stderr with its sim-clock probe and goroutine stacks; the figure is not killed (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +102,9 @@ func run(args []string) error {
 	case "text", "markdown":
 	default:
 		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *timeout < 0 || *stuck < 0 || *auditCad < 0 {
+		return fmt.Errorf("-timeout, -stuck and -audit-cadence must be >= 0")
 	}
 
 	var (
@@ -78,10 +123,50 @@ func run(args []string) error {
 	}
 	// Figures fan their own simulation grids through the same budget.
 	simScale.Parallel = *parallel
+	simScale.Audit = *audit
+	simScale.AuditCadence = *auditCad
+
+	// Open the checkpoint journal, if any. -resume implies journaling to the
+	// same directory; a fresh -checkpoint refuses a directory that already
+	// holds progress so recorded outputs are never silently replayed without
+	// the operator asking for it.
+	ckDir := *ckDirFlag
+	resume := false
+	if *resumeDir != "" {
+		if ckDir != "" && ckDir != *resumeDir {
+			return fmt.Errorf("-checkpoint (%s) and -resume (%s) name different directories", ckDir, *resumeDir)
+		}
+		ckDir = *resumeDir
+		resume = true
+	}
+	var journal *checkpoint.Journal
+	if ckDir != "" {
+		// The fingerprint covers everything that shapes a figure's bytes.
+		// -only is deliberately excluded: records are keyed per figure, so an
+		// interrupted sweep may be resumed with a different subset.
+		meta := checkpoint.Meta{Tool: "experiments", Fingerprint: map[string]string{
+			"scale":         *scaleName,
+			"format":        *format,
+			"faults":        *faults,
+			"audit":         strconv.FormatBool(*audit),
+			"audit-cadence": auditCad.String(),
+		}}
+		var err error
+		journal, err = checkpoint.Open(ckDir, meta)
+		if err != nil {
+			return err
+		}
+		if !resume && journal.Len() > 0 {
+			return fmt.Errorf("checkpoint directory %s already records %d finished figures; use -resume %s to continue it",
+				ckDir, journal.Len(), ckDir)
+		}
+	}
+
+	errw := &syncWriter{w: stderr}
 
 	type job struct {
 		id  string
-		run func() (*figures.Table, error)
+		run func(ctx context.Context, m *runner.Metrics) (*figures.Table, error)
 	}
 	// The trace environment is shared by all Section-3 figures and built
 	// once, by whichever trace job gets there first.
@@ -89,7 +174,7 @@ func run(args []string) error {
 		return figures.NewTraceEnv(traceScale)
 	})
 	traceJob := func(id string, fn func(*figures.TraceEnv) (*figures.Table, error)) job {
-		return job{id: id, run: func() (*figures.Table, error) {
+		return job{id: id, run: func(context.Context, *runner.Metrics) (*figures.Table, error) {
 			e, err := traceEnv()
 			if err != nil {
 				return nil, err
@@ -98,7 +183,14 @@ func run(args []string) error {
 		}}
 	}
 	simJob := func(id string, fn func(figures.SimScale) (*figures.Table, error)) job {
-		return job{id: id, run: func() (*figures.Table, error) { return fn(simScale) }}
+		return job{id: id, run: func(ctx context.Context, m *runner.Metrics) (*figures.Table, error) {
+			s := simScale
+			s.Ctx = ctx
+			s.Probe = func(now time.Duration, events uint64) {
+				m.SetProbe(fmt.Sprintf("sim-clock %v, %d events", now, events))
+			}
+			return fn(s)
+		}}
 	}
 
 	jobs := []job{
@@ -151,67 +243,127 @@ func run(args []string) error {
 				return err
 			}
 			n := name
-			jobs = append(jobs, job{id: "fault-" + n, run: func() (*figures.Table, error) {
-				return figures.FaultScenario(simScale, n)
-			}})
+			jobs = append(jobs, simJob("fault-"+n, func(s figures.SimScale) (*figures.Table, error) {
+				return figures.FaultScenario(s, n)
+			}))
 		}
 	}
 
-	var selected []job
-	for _, j := range jobs {
-		if *only != "" && j.id != *only {
-			continue
+	// -only is a comma-separated id subset. Selection preserves the canonical
+	// figure order above, so stdout ordering never depends on how the flag
+	// was spelled.
+	selected := jobs
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				want[id] = true
+			}
 		}
-		selected = append(selected, j)
+		selected = nil
+		for _, j := range jobs {
+			if want[j.id] {
+				selected = append(selected, j)
+				delete(want, j.id)
+			}
+		}
+		for id := range want {
+			return fmt.Errorf("no figure matches %q", id)
+		}
 	}
 	if len(selected) == 0 {
 		return fmt.Errorf("no figure matches %q", *only)
 	}
 
-	pjobs := make([]runner.Job[*figures.Table], len(selected))
+	render := func(t *figures.Table) string {
+		if *format == "markdown" {
+			return t.Markdown()
+		}
+		return t.String()
+	}
+
+	restored := make([]bool, len(selected))
+	pjobs := make([]runner.Job[string], len(selected))
 	for i, j := range selected {
-		j := j
-		pjobs[i] = runner.Job[*figures.Table]{
+		i, j := i, j
+		pjobs[i] = runner.Job[string]{
 			ID: j.id,
-			Run: func(m *runner.Metrics) (*figures.Table, error) {
-				tab, err := j.run()
+			Run: func(m *runner.Metrics) (string, error) {
+				if journal != nil {
+					if rec, ok := journal.Done(j.id); ok {
+						restored[i] = true
+						return rec.Output, nil
+					}
+				}
+				jobCtx := ctx
+				if *timeout > 0 {
+					var cancel context.CancelFunc
+					jobCtx, cancel = context.WithTimeout(ctx, *timeout)
+					defer cancel()
+				}
+				tab, err := j.run(jobCtx, m)
 				if err != nil {
-					return nil, err
+					return "", err
 				}
 				m.AddEvents(tab.SimEvents)
-				return tab, nil
+				return render(tab), nil
 			},
 		}
 	}
 
-	var summary []runner.Result[*figures.Table]
-	err := runner.ForEachOrdered(pjobs, runner.Options{Workers: *parallel, FailFast: true},
-		func(i int, r runner.Result[*figures.Table]) error {
+	opts := runner.Options{
+		Workers:    *parallel,
+		FailFast:   true,
+		Context:    ctx,
+		StuckAfter: *stuck,
+		OnStuck: func(id string, elapsed time.Duration, probe string, stacks []byte) {
+			if probe == "" {
+				probe = "none"
+			}
+			fmt.Fprintf(errw, "experiments: %s still running after %v (last probe: %s); goroutine dump:\n%s\n",
+				id, elapsed.Round(time.Second), probe, stacks)
+		},
+	}
+	var summary []runner.Result[string]
+	err := runner.ForEachOrdered(pjobs, opts,
+		func(i int, r runner.Result[string]) error {
 			if r.Err != nil {
 				return fmt.Errorf("%s: %w", r.ID, r.Err)
 			}
-			switch *format {
-			case "markdown":
-				fmt.Println(r.Value.Markdown())
-			default:
-				fmt.Println(r.Value.String())
+			fmt.Fprintln(stdout, r.Value)
+			if restored[i] {
+				fmt.Fprintf(errw, "experiments: %s restored from checkpoint\n", r.ID)
+			} else {
+				if journal != nil {
+					if err := journal.Record(checkpoint.Record{
+						ID:      r.ID,
+						Output:  r.Value,
+						WallMS:  r.Metrics.Wall.Milliseconds(),
+						AllocMB: float64(r.Metrics.AllocBytes) / (1 << 20),
+					}); err != nil {
+						return err
+					}
+				}
+				fmt.Fprintf(errw, "experiments: %s done in %v\n", r.ID, r.Metrics.Wall.Round(time.Millisecond))
 			}
-			fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", r.ID, r.Metrics.Wall.Round(time.Millisecond))
 			summary = append(summary, r)
 			return nil
 		})
 	if err != nil {
+		if journal != nil && (errors.Is(err, context.Canceled) || errors.Is(err, runner.ErrCanceled)) {
+			return fmt.Errorf("%w\n%d finished figures are checkpointed; rerun with -resume %s to continue", err, journal.Len(), ckDir)
+		}
 		return err
 	}
 	if *metrics {
-		printMetrics(os.Stderr, summary, *parallel)
+		printMetrics(errw, summary, *parallel)
 	}
 	return nil
 }
 
 // printMetrics writes the per-job summary table. It goes to stderr so that
 // stdout stays byte-identical across -parallel values even with -metrics.
-func printMetrics(w io.Writer, results []runner.Result[*figures.Table], workers int) {
+func printMetrics(w io.Writer, results []runner.Result[string], workers int) {
 	fmt.Fprintf(w, "experiments: per-job metrics (%d workers; alloc is approximate under parallelism)\n", workers)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "job\twall\tsim_events\talloc_MB")

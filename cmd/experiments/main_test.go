@@ -2,36 +2,24 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
-	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 )
 
-func captureStdout(t *testing.T, f func() error) (string, error) {
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	defer func() { os.Stdout = old }()
-	errCh := make(chan error, 1)
-	go func() { errCh <- f() }()
-	runErr := <-errCh
-	w.Close()
-	var buf bytes.Buffer
-	if _, err := io.Copy(&buf, r); err != nil {
-		t.Fatal(err)
-	}
-	return buf.String(), runErr
+	var out, errb bytes.Buffer
+	err = run(context.Background(), args, &out, &errb)
+	return out.String(), errb.String(), err
 }
 
 func TestRunSingleTraceFigure(t *testing.T) {
-	out, err := captureStdout(t, func() error {
-		return run([]string{"-scale", "small", "-only", "fig03"})
-	})
+	out, _, err := runCLI(t, "-scale", "small", "-only", "fig03")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -41,9 +29,7 @@ func TestRunSingleTraceFigure(t *testing.T) {
 }
 
 func TestRunSingleSimFigure(t *testing.T) {
-	out, err := captureStdout(t, func() error {
-		return run([]string{"-scale", "small", "-only", "fig16"})
-	})
+	out, _, err := runCLI(t, "-scale", "small", "-only", "fig16")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -53,9 +39,7 @@ func TestRunSingleSimFigure(t *testing.T) {
 }
 
 func TestRunSingleExtension(t *testing.T) {
-	out, err := captureStdout(t, func() error {
-		return run([]string{"-scale", "small", "-only", "ext-tree-failure"})
-	})
+	out, _, err := runCLI(t, "-scale", "small", "-only", "ext-tree-failure")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -64,21 +48,40 @@ func TestRunSingleExtension(t *testing.T) {
 	}
 }
 
+// -only takes a comma-separated subset; selection order is canonical, not
+// flag order.
+func TestRunOnlyCommaSeparated(t *testing.T) {
+	forward, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16,ext-regime")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(forward, "fig16") || !strings.Contains(forward, "ext-regime") {
+		t.Fatalf("subset output missing a figure:\n%s", forward)
+	}
+	reversed, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", " ext-regime , fig16 ")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if forward != reversed {
+		t.Error("-only order changed stdout")
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-scale", "enormous"}); err == nil {
-		t.Error("bad scale accepted")
+	cases := [][]string{
+		{"-scale", "enormous"},
+		{"-only", "fig99"},
+		{"-only", "fig16,fig99"},
+		{"-notaflag"},
+		{"-parallel", "0"},
+		{"-format", "csv"},
+		{"-timeout", "-1s"},
+		{"-checkpoint", "a", "-resume", "b"},
 	}
-	if err := run([]string{"-only", "fig99"}); err == nil {
-		t.Error("unknown figure accepted")
-	}
-	if err := run([]string{"-notaflag"}); err == nil {
-		t.Error("bad flag accepted")
-	}
-	if err := run([]string{"-parallel", "0"}); err == nil {
-		t.Error("-parallel 0 accepted")
-	}
-	if err := run([]string{"-format", "csv"}); err == nil {
-		t.Error("bad format accepted")
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 
@@ -86,20 +89,154 @@ func TestRunRejectsBadInput(t *testing.T) {
 // their seeds and tables are emitted in submission order.
 func TestRunParallelOutputMatchesSerial(t *testing.T) {
 	for _, fig := range []string{"fig17", "ext-regime"} {
-		serial, err := captureStdout(t, func() error {
-			return run([]string{"-scale", "small", "-only", fig, "-parallel", "1"})
-		})
+		serial, _, err := runCLI(t, "-scale", "small", "-only", fig, "-parallel", "1")
 		if err != nil {
 			t.Fatalf("%s serial: %v", fig, err)
 		}
-		par, err := captureStdout(t, func() error {
-			return run([]string{"-scale", "small", "-only", fig, "-parallel", "4", "-metrics"})
-		})
+		par, _, err := runCLI(t, "-scale", "small", "-only", fig, "-parallel", "4", "-metrics")
 		if err != nil {
 			t.Fatalf("%s parallel: %v", fig, err)
 		}
 		if serial != par {
 			t.Errorf("%s: parallel stdout differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", fig, serial, par)
 		}
+	}
+}
+
+// The invariant auditor observes without perturbing: an audited sweep's
+// stdout is byte-identical to an unaudited one.
+func TestRunAuditedOutputMatchesPlain(t *testing.T) {
+	plain, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16,ablation-depth")
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	audited, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16,ablation-depth",
+		"-audit", "-audit-cadence", "10s")
+	if err != nil {
+		t.Fatalf("audited: %v", err)
+	}
+	if plain != audited {
+		t.Errorf("-audit changed stdout:\n--- plain ---\n%s--- audited ---\n%s", plain, audited)
+	}
+}
+
+// A per-figure -timeout that cannot be met aborts the sweep with a deadline
+// error instead of hanging.
+func TestRunPerJobTimeout(t *testing.T) {
+	_, _, err := runCLI(t, "-scale", "small", "-only", "fig17", "-timeout", "1ns")
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want per-job deadline exceeded", err)
+	}
+}
+
+// Resume determinism, the crash-safety contract: a sweep that checkpointed
+// only some figures and is then resumed produces stdout byte-identical to
+// an uninterrupted sweep over the full set.
+func TestRunResumeIsByteIdenticalToUninterrupted(t *testing.T) {
+	full, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16,fig22,ext-regime")
+	if err != nil {
+		t.Fatalf("uninterrupted: %v", err)
+	}
+
+	dir := t.TempDir()
+	if _, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16",
+		"-checkpoint", dir); err != nil {
+		t.Fatalf("partial checkpointed run: %v", err)
+	}
+
+	resumed, stderr, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", "fig16,fig22,ext-regime",
+		"-resume", dir)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed != full {
+		t.Errorf("resumed stdout differs from uninterrupted:\n--- full ---\n%s--- resumed ---\n%s", full, resumed)
+	}
+	if !strings.Contains(stderr, "fig16 restored from checkpoint") {
+		t.Errorf("resume recomputed the checkpointed figure:\n%s", stderr)
+	}
+	for _, fresh := range []string{"fig22 done in", "ext-regime done in"} {
+		if !strings.Contains(stderr, fresh) {
+			t.Errorf("resume did not run %q:\n%s", fresh, stderr)
+		}
+	}
+}
+
+// interruptOnFirstWrite fires the given interrupt the moment the first
+// figure lands on stdout, standing in for an operator's Ctrl-C mid-sweep.
+type interruptOnFirstWrite struct {
+	w         io.Writer
+	interrupt func()
+	once      sync.Once
+}
+
+func (c *interruptOnFirstWrite) Write(p []byte) (int, error) {
+	c.once.Do(c.interrupt)
+	return c.w.Write(p)
+}
+
+// Interrupt-then-resume, end to end: a real SIGTERM mid-sweep (delivered
+// through the same signal.NotifyContext wiring main uses) leaves a journal
+// of the finished figures and a resume hint; resuming yields stdout
+// byte-identical to an uninterrupted sweep.
+func TestRunInterruptedThenResumed(t *testing.T) {
+	const figs = "fig16,fig17,fig22,ext-regime"
+	full, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", figs)
+	if err != nil {
+		t.Fatalf("uninterrupted: %v", err)
+	}
+
+	dir := t.TempDir()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	var partial bytes.Buffer
+	sigterm := func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Errorf("raise SIGTERM: %v", err)
+		}
+	}
+	err = run(ctx, []string{"-scale", "small", "-parallel", "1", "-only", figs, "-checkpoint", dir},
+		&interruptOnFirstWrite{w: &partial, interrupt: sigterm}, io.Discard)
+	if err == nil {
+		t.Fatal("cancellation mid-sweep did not abort the run")
+	}
+	if !strings.Contains(err.Error(), "-resume "+dir) {
+		t.Errorf("abort error lacks the resume hint: %v", err)
+	}
+	if !strings.HasPrefix(full, partial.String()) {
+		t.Errorf("interrupted stdout is not a prefix of the uninterrupted sweep:\n--- interrupted ---\n%s", partial.String())
+	}
+
+	resumed, _, err := runCLI(t, "-scale", "small", "-parallel", "1", "-only", figs, "-resume", dir)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed != full {
+		t.Errorf("resumed stdout differs from uninterrupted:\n--- full ---\n%s--- resumed ---\n%s", full, resumed)
+	}
+}
+
+// A fresh -checkpoint refuses a directory that already holds progress, and
+// -resume refuses a journal recorded under different sweep parameters.
+func TestRunCheckpointSafetyChecks(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runCLI(t, "-scale", "small", "-only", "fig16", "-checkpoint", dir); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, _, err := runCLI(t, "-scale", "small", "-only", "fig16", "-checkpoint", dir); err == nil ||
+		!strings.Contains(err.Error(), "-resume") {
+		t.Errorf("fresh -checkpoint reused a populated directory: %v", err)
+	}
+	if _, _, err := runCLI(t, "-scale", "small", "-format", "markdown", "-only", "fig16", "-resume", dir); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("resume across a format change accepted: %v", err)
+	}
+	// Same parameters resume cleanly and replay the recorded figure.
+	out, _, err := runCLI(t, "-scale", "small", "-only", "fig16", "-resume", dir)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(out, "fig16") {
+		t.Errorf("resume did not re-emit the recorded figure:\n%s", out)
 	}
 }

@@ -1,0 +1,128 @@
+package audit
+
+import "fmt"
+
+// NoParent marks a tree root, mirroring overlay.NoParent. Defined here so
+// the predicate has no dependency on the overlay package (overlay itself
+// calls into audit, and a shared constant avoids the import cycle).
+const NoParent = -1
+
+// TreeView is the read-only surface the tree predicates need. overlay.Tree
+// satisfies it; tests may supply ad-hoc fixtures.
+type TreeView interface {
+	NumNodes() int
+	Parent(i int) int
+	Children(i int) []int
+}
+
+// CheckTree verifies the structural invariants of a rooted distribution
+// tree over its live nodes: node 0 is the only root, parent and children
+// arrays agree, no live node's degree exceeds the bound (degree <= 0 means
+// unbounded), and every live node's parent chain terminates without cycling.
+//
+// allowDeadAnchor controls the connectivity requirement. Offline (strict)
+// validation demands every live node reach the root. The live auditor runs
+// with allowDeadAnchor=true: a failed best-effort repair may legitimately
+// leave a live subtree anchored under a dead, detached relay — the paper's
+// "orphaned supernode" state — which is a recorded degradation, not
+// corruption. A cycle or a dangling parent index is corruption in either
+// mode.
+//
+// alive may be nil, meaning every node is live.
+func CheckTree(t TreeView, degree int, alive []bool, allowDeadAnchor bool) *Violation {
+	n := t.NumNodes()
+	if n == 0 {
+		return violationf("tree-structure", "empty tree")
+	}
+	if alive != nil && len(alive) != n {
+		return violationf("tree-structure", "alive has %d entries for %d nodes", len(alive), n)
+	}
+	isLive := func(i int) bool { return alive == nil || alive[i] }
+	if t.Parent(0) != NoParent {
+		return violationf("tree-structure", "root has parent %d", t.Parent(0))
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		if !isLive(i) {
+			continue
+		}
+		live++
+		kids := t.Children(i)
+		if degree > 0 && len(kids) > degree {
+			v := violationf("tree-degree", "node %d has %d children, bound %d", i, len(kids), degree)
+			v.Server = i
+			v.Snapshot = fmt.Sprintf("children=%v", kids)
+			return v
+		}
+		for _, c := range kids {
+			if c < 0 || c >= n {
+				v := violationf("tree-structure", "node %d lists child %d outside 0..%d", i, c, n-1)
+				v.Server = i
+				return v
+			}
+			if t.Parent(c) != i {
+				v := violationf("tree-structure", "child %d of %d has parent %d", c, i, t.Parent(c))
+				v.Server = i
+				v.Snapshot = fmt.Sprintf("children[%d]=%v parent[%d]=%d", i, kids, c, t.Parent(c))
+				return v
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		if v := checkChain(t, i, isLive, allowDeadAnchor); v != nil {
+			return v
+		}
+	}
+	if live == 0 {
+		return violationf("tree-structure", "no live nodes")
+	}
+	return nil
+}
+
+// checkChain walks node i's parent chain: it must terminate at the root
+// within NumNodes steps (no cycle, no dangling index). With allowDeadAnchor
+// the chain may instead terminate at a dead detached node.
+func checkChain(t TreeView, i int, isLive func(int) bool, allowDeadAnchor bool) *Violation {
+	n := t.NumNodes()
+	cur := i
+	for steps := 0; ; steps++ {
+		if steps > n {
+			v := violationf("tree-acyclic", "parent chain from %d cycles without reaching the root", i)
+			v.Server = i
+			v.Snapshot = chainSnapshot(t, i)
+			return v
+		}
+		p := t.Parent(cur)
+		if p == NoParent {
+			if cur == 0 {
+				return nil // reached the root
+			}
+			if allowDeadAnchor && !isLive(cur) {
+				return nil // orphan group under a dead, detached relay
+			}
+			v := violationf("tree-connectivity", "live node %d's chain ends detached at %d", i, cur)
+			v.Server = i
+			v.Snapshot = chainSnapshot(t, i)
+			return v
+		}
+		if p < 0 || p >= n || p == cur {
+			v := violationf("tree-structure", "node %d has invalid parent %d", cur, p)
+			v.Server = cur
+			return v
+		}
+		cur = p
+	}
+}
+
+// chainSnapshot renders a node's parent chain (bounded) for the violation
+// snapshot.
+func chainSnapshot(t TreeView, i int) string {
+	out := fmt.Sprintf("%d", i)
+	cur := i
+	for steps := 0; steps <= t.NumNodes() && t.Parent(cur) != NoParent; steps++ {
+		cur = t.Parent(cur)
+		out += fmt.Sprintf("->%d", cur)
+	}
+	return "chain " + out
+}

@@ -1,0 +1,343 @@
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"cdnconsistency/internal/audit"
+	"cdnconsistency/internal/consistency"
+)
+
+// AuditOptions configures the runtime invariant auditor. The auditor rides
+// the simulation's own event loop: at every Cadence of virtual time it sweeps
+// the full conservation-property set (tree structure, version bounds,
+// catch-up accounting, counter monotonicity, traffic-ledger conservation,
+// delivery conservation), and it re-checks the overlay tree immediately after
+// every failover mutation. The first violated property stops the run and is
+// returned as the run's error, so a corrupted simulation can never produce a
+// figure.
+//
+// Audit sweeps are engine events, so an audited run processes more events
+// than an unaudited one — but they draw no randomness and mutate nothing, so
+// every reported metric is identical with the auditor on or off.
+type AuditOptions struct {
+	// Cadence is the virtual-time period between full sweeps; default 30 s.
+	Cadence time.Duration
+}
+
+const defaultAuditCadence = 30 * time.Second
+
+// auditor holds the sweep state: the previous observation of every monotone
+// quantity, the precomputed catch-up delay bound, and the first violation.
+type auditor struct {
+	s       *simulation
+	cadence time.Duration
+	checks  int
+	// violation is the first failed property; once set, the engine is
+	// stopped and later sweeps are no-ops.
+	violation *audit.Violation
+
+	// delayBound caps each recorded server catch-up delay. Zero means only
+	// non-negativity is enforced: under faults, loss, or visit-driven pull
+	// methods there is no sound a-priori bound short of the horizon.
+	delayBound time.Duration
+
+	prevVersion    []int
+	prevGen        []int
+	prevCatchupSum []float64
+	prevCatchupN   []int
+	prevCounters   map[string]int
+}
+
+func newAuditor(s *simulation) *auditor {
+	a := &auditor{
+		s:              s,
+		cadence:        defaultAuditCadence,
+		prevVersion:    make([]int, len(s.nodes)),
+		prevGen:        make([]int, len(s.nodes)),
+		prevCatchupSum: make([]float64, len(s.nodes)),
+		prevCatchupN:   make([]int, len(s.nodes)),
+		prevCounters:   make(map[string]int),
+	}
+	if s.cfg.Audit.Cadence > 0 {
+		a.cadence = s.cfg.Audit.Cadence
+	}
+	a.delayBound = s.regimeMaxDelay()
+	return a
+}
+
+// regimeMaxDelay computes the sound upper bound on one server catch-up delay,
+// or 0 when no such bound exists. A strict bound holds only in the fault-free
+// regime (no injected faults, no crash-stops, no message loss — every one of
+// those legitimately stretches staleness to the outage length) and only for
+// methods whose pull is periodic by construction: TTL, AdaptiveTTL (whose
+// poll period is capped at 4x ServerTTL), and Push (immediate relay). The
+// visit-driven methods (Invalidation, Self-adaptive, Lease, Regime) refresh a
+// replica only when traffic arrives, so a rarely-visited server can lag
+// arbitrarily long without any invariant being broken.
+func (s *simulation) regimeMaxDelay() time.Duration {
+	cfg := s.cfg
+	if cfg.FailServers > 0 || (cfg.Faults != nil && !cfg.Faults.Empty()) || cfg.Net.LossProb > 0 {
+		return 0
+	}
+	switch cfg.Method {
+	case consistency.MethodTTL, consistency.MethodAdaptiveTTL, consistency.MethodPush:
+	default:
+		return 0
+	}
+	depth := s.tree.MaxDepth()
+	if depth < 1 {
+		depth = 1
+	}
+	// Per-hop worst case: the longest poll period (AdaptiveTTL caps at
+	// 4x ServerTTL), plus a delivery allowance covering antipodal
+	// propagation, inter-ISP penalty, jitter, and uplink queuing of a full
+	// fanout of update payloads behind one transmission.
+	netCfg := s.net.Config()
+	const antipodalKm = 20038.0
+	prop := time.Duration(antipodalKm / netCfg.PropagationKmPerSec * float64(time.Second))
+	prop += time.Duration(float64(prop) * netCfg.JitterFrac)
+	prop += netCfg.BaseDelay + netCfg.InterISPDelay
+	// An uplink backlog is bounded by everything ever enqueued, not one
+	// fanout: when updates arrive faster than the link drains (the
+	// Figure-19 saturation regime), waves pile up behind each other.
+	waves := float64(len(cfg.Updates))
+	if waves < 1 {
+		waves = 1
+	}
+	queue := time.Duration(waves * float64(len(s.nodes)) * cfg.UpdateSizeKB / netCfg.DefaultUplinkKBps * float64(time.Second))
+	perHop := 4*cfg.ServerTTL + 2*(prop+queue)
+	// Double the depth product as slack: the bound must never false-positive
+	// on a healthy run, only catch corrupted accounting (negative publish
+	// times, delays of days).
+	return 2 * time.Duration(depth) * perHop
+}
+
+// fail records the first violation, stamps it with the simulation clock, and
+// stops the engine so no further (possibly corrupted) events execute.
+func (a *auditor) fail(v *audit.Violation) {
+	if v == nil || a.violation != nil {
+		return
+	}
+	v.Time = a.s.eng.Now()
+	a.violation = v
+	a.s.eng.Stop()
+}
+
+// onDelay audits one recorded server catch-up delay as it happens.
+func (a *auditor) onDelay(nodeIdx int, delay time.Duration) {
+	if a.violation != nil {
+		return
+	}
+	if v := audit.CheckBoundedDelay(fmt.Sprintf("catch-up delay of node %d", nodeIdx), delay, a.delayBound); v != nil {
+		v.Server = nodeIdx
+		a.fail(v)
+	}
+}
+
+// onTreeMutation re-checks the overlay tree immediately after a failover
+// mutation (crash-time repair, detection-driven reparent, recovery rejoin),
+// so a mutation that corrupts the tree is caught at the event that caused it
+// rather than at the next cadence sweep.
+func (a *auditor) onTreeMutation(where string) {
+	if a.violation != nil {
+		return
+	}
+	a.checks++
+	if v := a.checkTree(); v != nil {
+		v.Detail = where + ": " + v.Detail
+		a.fail(v)
+	}
+}
+
+// checkTree runs the shared structural predicate in live (tolerant) mode: a
+// failed best-effort repair may leave a live subtree anchored under a dead
+// detached relay, which is recorded degradation, not corruption.
+func (a *auditor) checkTree() *audit.Violation {
+	degree := 0
+	if a.s.cfg.Infra == consistency.InfraMulticast {
+		degree = a.s.cfg.TreeDegree
+	}
+	return audit.CheckTree(a.s.tree, degree, a.s.alive, true)
+}
+
+// sweep runs the full conservation-property set. It is scheduled at cadence
+// through the engine (so Time stamps are exact) and once more after the run
+// drains.
+func (a *auditor) sweep() {
+	if a.violation != nil {
+		return
+	}
+	a.checks++
+	if v := a.check(); v != nil {
+		a.fail(v)
+	}
+}
+
+func (a *auditor) check() *audit.Violation {
+	s := a.s
+	if v := a.checkTree(); v != nil {
+		return v
+	}
+	if v := a.checkNodes(); v != nil {
+		return v
+	}
+	if v := a.checkUsers(); v != nil {
+		return v
+	}
+	if v := a.checkCounters(); v != nil {
+		return v
+	}
+	if v := a.checkDelivery(); v != nil {
+		return v
+	}
+	return audit.CheckAccounting(s.net.Accounting())
+}
+
+// checkNodes verifies per-node version and catch-up accounting invariants:
+// versions stay within [0, published] and move monotonically within one
+// incarnation (a crash or recovery bumps gen and may legally reset the
+// version), catch-up sums are finite, non-negative, and never run backwards,
+// and a down node is never counted live by the tree bookkeeping.
+func (a *auditor) checkNodes() *audit.Violation {
+	s := a.s
+	for i, nd := range s.nodes {
+		if nd.version < 0 || nd.version > s.published {
+			v := violationAt("version-bounds", i,
+				"node %d holds version %d outside [0, %d]", i, nd.version, s.published)
+			v.Snapshot = a.nodeSnapshot(nd)
+			return v
+		}
+		if nd.gen == a.prevGen[i] && nd.version < a.prevVersion[i] {
+			v := violationAt("version-monotonic", i,
+				"node %d regressed from version %d to %d within generation %d",
+				i, a.prevVersion[i], nd.version, nd.gen)
+			v.Snapshot = a.nodeSnapshot(nd)
+			return v
+		}
+		if nd.recovering && (nd.syncTarget < 0 || nd.syncTarget > s.published) {
+			return violationAt("version-bounds", i,
+				"node %d recovering toward %d outside [0, %d]", i, nd.syncTarget, s.published)
+		}
+		if v := audit.CheckSeries(fmt.Sprintf("node %d catchupSum", i), []float64{nd.catchupSum}); v != nil {
+			v.Server = i
+			return v
+		}
+		if nd.catchupSum < a.prevCatchupSum[i] || nd.catchupN < a.prevCatchupN[i] {
+			v := violationAt("catchup-accounting", i,
+				"node %d catch-up accounting ran backwards: sum %v->%v n %d->%d",
+				i, a.prevCatchupSum[i], nd.catchupSum, a.prevCatchupN[i], nd.catchupN)
+			v.Snapshot = a.nodeSnapshot(nd)
+			return v
+		}
+		if nd.catchupN == 0 && nd.catchupSum != 0 {
+			return violationAt("catchup-accounting", i,
+				"node %d accumulated %v seconds over zero catch-ups", i, nd.catchupSum)
+		}
+		if i > 0 && nd.down && s.alive[i] {
+			return violationAt("liveness-bookkeeping", i,
+				"node %d is down but still marked alive in the tree bookkeeping", i)
+		}
+		a.prevVersion[i], a.prevGen[i] = nd.version, nd.gen
+		a.prevCatchupSum[i], a.prevCatchupN[i] = nd.catchupSum, nd.catchupN
+	}
+	return nil
+}
+
+func (a *auditor) checkUsers() *audit.Violation {
+	for _, u := range a.s.users {
+		if v := audit.CheckCount(fmt.Sprintf("user %d inconsistent observations", u.idx),
+			u.inconsistent, u.observations); v != nil {
+			return v
+		}
+		if v := audit.CheckSeries(fmt.Sprintf("user %d catchupSum", u.idx), []float64{u.catchupSum}); v != nil {
+			v.Server = -1
+			return v
+		}
+	}
+	return nil
+}
+
+// counterView lists every cumulative counter with its current value; each
+// must be non-negative and monotone between sweeps.
+func (a *auditor) counterView() map[string]int {
+	s := a.s
+	return map[string]int{
+		"crashes":                s.crashes,
+		"recoveries":             s.recoveries,
+		"failedVisits":           s.failedVisits,
+		"userFailovers":          s.userFailovers,
+		"serverReparents":        s.serverReparents,
+		"ttlFallbacks":           s.ttlFallbacks,
+		"staleObservations":      s.staleObservations,
+		"updateMsgsToServers":    s.updateMsgsToServers,
+		"updateMsgsFromProvider": s.updateMsgsFromProvider,
+		"lightMsgs":              s.lightMsgs,
+		"dnsVisits":              s.dnsVisits,
+		"dnsRedirects":           s.dnsRedirects,
+		"deliverAttempts":        s.deliverAttempts,
+		"deliverSends":           s.deliverSends,
+	}
+}
+
+func (a *auditor) checkCounters() *audit.Violation {
+	s := a.s
+	cur := a.counterView()
+	for name, val := range cur {
+		if val < 0 {
+			return violationAt("counter-nonnegative", -1, "%s = %d", name, val)
+		}
+		if v := audit.CheckMonotonicCount(name, a.prevCounters[name], val); v != nil {
+			return v
+		}
+	}
+	a.prevCounters = cur
+	// Cross-counter relationships.
+	if v := audit.CheckCount("recoveries vs crashes", s.recoveries, s.crashes); v != nil {
+		return v
+	}
+	if len(s.recoverySeconds) != s.recoveries {
+		return violationAt("catchup-accounting", -1,
+			"%d recovery durations recorded for %d recoveries", len(s.recoverySeconds), s.recoveries)
+	}
+	if v := audit.CheckCount("userFailovers vs failedVisits", s.userFailovers, s.failedVisits); v != nil {
+		return v
+	}
+	if v := audit.CheckCount("dnsRedirects vs dnsVisits", s.dnsRedirects, s.dnsVisits); v != nil {
+		return v
+	}
+	return audit.CheckSeries("recoverySeconds", s.recoverySeconds)
+}
+
+// checkDelivery verifies delivery conservation: every delivery attempt either
+// entered the network or was dropped with a recorded cause. An attempt
+// unaccounted for in either column means a message silently vanished.
+func (a *auditor) checkDelivery() *audit.Violation {
+	s := a.s
+	dropped := 0
+	for cause, n := range s.deliverDrops {
+		if n < 0 {
+			return violationAt("delivery-conservation", -1, "drop cause %q count %d", cause, n)
+		}
+		dropped += n
+	}
+	if s.deliverAttempts != s.deliverSends+dropped {
+		v := violationAt("delivery-conservation", -1,
+			"%d delivery attempts != %d sends + %d recorded drops",
+			s.deliverAttempts, s.deliverSends, dropped)
+		v.Snapshot = fmt.Sprintf("drops=%v", s.deliverDrops)
+		return v
+	}
+	return nil
+}
+
+func (a *auditor) nodeSnapshot(nd *node) string {
+	return fmt.Sprintf("node %d: version=%d gen=%d down=%v recovering=%v syncTarget=%d catchupSum=%v catchupN=%d published=%d",
+		nd.idx, nd.version, nd.gen, nd.down, nd.recovering, nd.syncTarget,
+		nd.catchupSum, nd.catchupN, a.s.published)
+}
+
+// violationAt builds a violation pinned to one server (or -1 for global).
+func violationAt(property string, server int, format string, args ...any) *audit.Violation {
+	return &audit.Violation{Property: property, Server: server, Detail: fmt.Sprintf(format, args...)}
+}

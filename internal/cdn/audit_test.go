@@ -1,0 +1,295 @@
+package cdn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cdnconsistency/internal/audit"
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/workload"
+)
+
+// auditTestConfig is a short, small run (so the scenario matrix stays fast)
+// with the full failover machinery on — the state the auditor has to certify
+// is exactly the state the fault reactions mutate.
+func auditTestConfig(t *testing.T, method consistency.Method, infra consistency.Infra) Config {
+	t.Helper()
+	game := workload.GameConfig{
+		Phases: []workload.Phase{
+			{Name: "p", Duration: 3 * time.Minute, MeanGap: 20 * time.Second},
+			{Name: "b", Duration: 2 * time.Minute, MeanGap: 0},
+			{Name: "p2", Duration: 3 * time.Minute, MeanGap: 20 * time.Second},
+		},
+		SizeKB: 1,
+	}
+	updates, err := workload.Schedule(game, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Method:     method,
+		Infra:      infra,
+		Topology:   topology.Config{Servers: 40, UsersPerServer: 1, Seed: 11},
+		Clusters:   5,
+		Updates:    updates,
+		Seed:       11,
+		RepairTree: true,
+		Failover:   true,
+		Audit:      &AuditOptions{Cadence: time.Second}, // max practical cadence
+	}
+}
+
+// Every named fault scenario, with failover reactions enabled and the auditor
+// sweeping at maximum cadence, must complete with zero violations: the fault
+// machinery may degrade the metrics but never the bookkeeping.
+func TestAuditCleanAcrossFaultScenarios(t *testing.T) {
+	for _, name := range fault.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := fault.Scenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraMulticast)
+			cfg.Faults = &spec
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("audited %s run failed: %v", name, err)
+			}
+			if res.AuditChecks == 0 {
+				t.Fatal("auditor never ran")
+			}
+		})
+	}
+}
+
+// The same zero-violation requirement across methods and infrastructures
+// under the mixed scenario (the one composing crashes, a provider outage,
+// and a partition).
+func TestAuditCleanAcrossMethods(t *testing.T) {
+	cases := []struct {
+		method consistency.Method
+		infra  consistency.Infra
+	}{
+		{consistency.MethodPush, consistency.InfraUnicast},
+		{consistency.MethodPush, consistency.InfraMulticast},
+		{consistency.MethodInvalidation, consistency.InfraHybrid},
+		{consistency.MethodSelfAdaptive, consistency.InfraUnicast},
+		{consistency.MethodAdaptiveTTL, consistency.InfraMulticast},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%v-%v", tc.method, tc.infra), func(t *testing.T) {
+			t.Parallel()
+			spec, err := fault.Scenario("mixed")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := auditTestConfig(t, tc.method, tc.infra)
+			cfg.Faults = &spec
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("audited run failed: %v", err)
+			}
+			if res.AuditChecks == 0 {
+				t.Fatal("auditor never ran")
+			}
+		})
+	}
+}
+
+// The auditor must be a pure observer: every reported metric is identical
+// with auditing on or off. Only the processed-event count may differ (sweeps
+// are engine events).
+func TestAuditDoesNotPerturbMetrics(t *testing.T) {
+	spec, err := fault.Scenario("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(auditOn bool) *Result {
+		cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraMulticast)
+		cfg.Faults = &spec
+		if !auditOn {
+			cfg.Audit = nil
+		}
+		return mustRun(t, cfg)
+	}
+	on, off := mk(true), mk(false)
+	if fmt.Sprint(on.ServerAvgInconsistency) != fmt.Sprint(off.ServerAvgInconsistency) {
+		t.Error("server inconsistency differs with auditing on")
+	}
+	if fmt.Sprint(on.UserAvgInconsistency) != fmt.Sprint(off.UserAvgInconsistency) {
+		t.Error("user inconsistency differs with auditing on")
+	}
+	if on.Accounting.Total() != off.Accounting.Total() {
+		t.Errorf("accounting differs: %+v vs %+v", on.Accounting.Total(), off.Accounting.Total())
+	}
+	if on.Crashes != off.Crashes || on.Recoveries != off.Recoveries ||
+		on.ServerReparents != off.ServerReparents || on.StaleObservations != off.StaleObservations {
+		t.Error("robustness counters differ with auditing on")
+	}
+	if on.Events <= off.Events {
+		t.Errorf("audited run processed %d events, unaudited %d — sweeps missing", on.Events, off.Events)
+	}
+}
+
+// Mutation tests: seed a deliberate accounting bug mid-run and require the
+// auditor to catch it, report the right property, and abort the run. This is
+// the auditor's own regression suite — a predicate that silently stopped
+// checking would pass every clean-run test above.
+func TestAuditorCatchesSeededCorruption(t *testing.T) {
+	cases := []struct {
+		name     string
+		corrupt  func(s *simulation)
+		property string
+	}{
+		{
+			name:     "negative catch-up sum",
+			corrupt:  func(s *simulation) { s.nodes[5].catchupSum = -1 },
+			property: "series-nonnegative",
+		},
+		{
+			name:     "version beyond published",
+			corrupt:  func(s *simulation) { s.nodes[3].version = s.published + 7 },
+			property: "version-bounds",
+		},
+		{
+			name:     "version regression",
+			corrupt:  func(s *simulation) { s.nodes[3].version = 0 },
+			property: "version-monotonic",
+		},
+		{
+			name:     "negative message counter",
+			corrupt:  func(s *simulation) { s.updateMsgsToServers = -5 },
+			property: "counter-nonnegative",
+		},
+		{
+			name:     "unaccounted delivery attempt",
+			corrupt:  func(s *simulation) { s.deliverAttempts++ },
+			property: "delivery-conservation",
+		},
+		{
+			name: "down node counted live",
+			corrupt: func(s *simulation) {
+				s.nodes[7].down = true
+				s.alive[7] = true
+			},
+			property: "liveness-bookkeeping",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := newSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Let the run warm up (versions advance, counters move), then
+			// corrupt one piece of state behind the simulation's back.
+			s.at(4*time.Minute, func() { tc.corrupt(s) })
+			_, err = s.run()
+			var v *audit.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("corrupted run returned %v, want an audit violation", err)
+			}
+			if v.Property != tc.property {
+				t.Errorf("caught property %q, want %q (violation: %v)", v.Property, tc.property, v)
+			}
+			if v.Time < 4*time.Minute {
+				t.Errorf("violation stamped at %v, before the corruption at 4m", v.Time)
+			}
+		})
+	}
+}
+
+// The per-event delay bound fires on a delay beyond the fault-free regime
+// maximum, and the bound is disabled (never a false positive) once faults are
+// configured.
+func TestAuditorDelayBound(t *testing.T) {
+	cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.aud.delayBound <= 0 {
+		t.Fatal("fault-free TTL run has no delay bound")
+	}
+	s.aud.onDelay(3, s.aud.delayBound+time.Hour)
+	if v := s.aud.violation; v == nil || v.Property != "delay-bounded" {
+		t.Errorf("oversized delay not flagged: %v", v)
+	}
+
+	spec, err := fault.Scenario("outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := auditTestConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+	cfg2.Faults = &spec
+	cfg2, err = cfg2.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := newSimulation(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.run(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.aud.delayBound != 0 {
+		t.Errorf("faulty run kept strict delay bound %v; an outage legitimately exceeds it", s2.aud.delayBound)
+	}
+}
+
+// Cancelling the run's context aborts it promptly with the context's error.
+func TestRunHonorsContextCancellation(t *testing.T) {
+	cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraMulticast)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Ctx = ctx
+	if _, err := Run(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// The OnTick probe observes monotone progress through the run.
+func TestRunOnTickProbe(t *testing.T) {
+	cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+	cfg.Audit = nil
+	var calls int
+	var lastNow time.Duration
+	var lastEvents uint64
+	cfg.OnTick = func(now time.Duration, events uint64) {
+		if now < lastNow || events <= lastEvents && calls > 0 {
+			t.Fatalf("tick ran backwards: now %v->%v events %d->%d", lastNow, now, lastEvents, events)
+		}
+		lastNow, lastEvents = now, events
+		calls++
+	}
+	res := mustRun(t, cfg)
+	if calls == 0 {
+		t.Fatal("tick probe never ran")
+	}
+	if lastEvents > res.Events {
+		t.Errorf("probe saw %d events, result reports %d", lastEvents, res.Events)
+	}
+}

@@ -7,6 +7,7 @@
 package cdn
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -107,6 +108,26 @@ type Config struct {
 	// Off by default: protocols ride out faults exactly as before.
 	Failover bool
 
+	// Audit, when set, enables the runtime invariant auditor (see
+	// AuditOptions): conservation properties are verified at cadence during
+	// the run and after every failover tree mutation, and the first
+	// violation aborts the run as its error. The auditor observes state
+	// without mutating it or drawing randomness, so all reported metrics
+	// are identical with auditing on or off (only Result.Events grows, by
+	// the sweep events).
+	Audit *AuditOptions
+
+	// Ctx, when set, is polled at a fixed event stride inside the event
+	// loop; cancelling it aborts the run promptly with the context's error.
+	// Nil means the run cannot be cancelled.
+	Ctx context.Context
+
+	// OnTick, when set, is invoked at the same event stride with the
+	// current virtual time and processed-event count. It backs external
+	// liveness probes (stuck-job watchdogs); it must be cheap and must not
+	// touch simulation state.
+	OnTick func(now time.Duration, events uint64)
+
 	Net  netmodel.Config
 	Seed int64
 
@@ -177,6 +198,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FailServers < 0 {
 		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
+	}
+	if c.Audit != nil && c.Audit.Cadence < 0 {
+		return c, fmt.Errorf("cdn: negative audit cadence %v", c.Audit.Cadence)
 	}
 	if c.FailWindowStart == 0 && c.FailWindowFrac == 0 {
 		c.FailWindowStart, c.FailWindowFrac = 1.0/3, 1.0/3
@@ -270,6 +294,12 @@ type Result struct {
 	// published snapshot at observation time — the stale-serve metric the
 	// fault figures report.
 	StaleObservations int
+
+	// AuditChecks counts the invariant-auditor passes that ran (cadence
+	// sweeps, post-mutation tree checks, and the final sweep); zero when
+	// auditing was off. A nonzero count with a nil run error is the
+	// "audited clean" certificate.
+	AuditChecks int
 }
 
 // MeanServerInconsistency averages the per-server means.

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"cdnconsistency/internal/audit"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/topology"
@@ -44,33 +45,40 @@ func TestPropertyRunInvariants(t *testing.T) {
 			Clusters: 3,
 			Updates:  updates,
 			Seed:     seed,
+			// The live auditor verifies the same predicates at cadence
+			// mid-run; a violation surfaces as the run's error.
+			Audit: &AuditOptions{},
 		})
 		if err != nil {
 			t.Logf("%v/%v seed %d: %v", m, inf, seed, err)
 			return false
 		}
-		for _, v := range res.ServerAvgInconsistency {
-			if v < 0 || math.IsNaN(v) {
+		// Offline, the result must satisfy the same shared predicates the
+		// runtime auditor enforces (internal/audit): one property set, two
+		// enforcement points.
+		for name, series := range map[string][]float64{
+			"ServerAvgInconsistency": res.ServerAvgInconsistency,
+			"UserAvgInconsistency":   res.UserAvgInconsistency,
+			"RecoverySeconds":        res.RecoverySeconds,
+		} {
+			if v := audit.CheckSeries(name, series); v != nil {
+				t.Logf("%v/%v seed %d: %v", m, inf, seed, v)
 				return false
 			}
 		}
-		for _, v := range res.UserAvgInconsistency {
-			if v < 0 || math.IsNaN(v) {
+		for name, v := range map[string]*audit.Violation{
+			"observations": audit.CheckCount("inconsistent observations",
+				res.UserInconsistentObservations, res.UserObservations),
+			"frac":       audit.CheckFraction("InconsistentObservationFrac", res.InconsistentObservationFrac()),
+			"stale-frac": audit.CheckFraction("StaleServeFrac", res.StaleServeFrac()),
+			"accounting": audit.CheckAccounting(res.Accounting),
+		} {
+			if v != nil {
+				t.Logf("%v/%v seed %d: %s: %v", m, inf, seed, name, v)
 				return false
 			}
 		}
-		if res.UserInconsistentObservations > res.UserObservations {
-			return false
-		}
-		if f := res.InconsistentObservationFrac(); f < 0 || f > 1 {
-			return false
-		}
-		// Accounting consistency: totals equal the sum of classes.
-		var sum int
-		for _, c := range res.Accounting.Classes() {
-			sum += res.Accounting.ByClass[c].Messages
-		}
-		return sum == res.Accounting.Total().Messages
+		return res.AuditChecks > 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

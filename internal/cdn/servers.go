@@ -103,6 +103,9 @@ func (s *simulation) pollRetry(i, p, attempt int) {
 			if err := s.tree.Remove(p, s.locs, s.cfg.TreeDegree, s.alive); err == nil {
 				s.serverReparents++
 			}
+			if s.aud != nil {
+				s.aud.onTreeMutation(fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
+			}
 		}
 		attempt = 0 // fresh cycle against the (possibly new) parent
 	}

@@ -149,6 +149,16 @@ type simulation struct {
 	serverReparents   int
 	ttlFallbacks      int
 	staleObservations int
+
+	// Delivery conservation ledger: every deliver call is an attempt, and
+	// either enters the network (a send) or is dropped with a recorded
+	// cause. The auditor cross-checks attempts == sends + drops.
+	deliverAttempts int
+	deliverSends    int
+	deliverDrops    map[string]int
+
+	// aud is the runtime invariant auditor, nil unless cfg.Audit is set.
+	aud *auditor
 }
 
 func newSimulation(cfg Config) (*simulation, error) {
@@ -367,11 +377,24 @@ func (s *simulation) send(from, to int, sizeKB float64, class netmodel.Class) ti
 // sender only learns about it through its own timeout. Without partitions
 // deliver is exactly send + at.
 func (s *simulation) deliver(from, to int, sizeKB float64, class netmodel.Class, onArrival func()) {
+	s.deliverAttempts++
 	if !s.net.Reachable(s.nodes[from].ep, s.nodes[to].ep) {
+		s.dropDelivery("partition")
 		return
 	}
+	s.deliverSends++
 	arrival := s.send(from, to, sizeKB, class)
 	s.at(arrival, onArrival)
+}
+
+// dropDelivery records a dropped delivery attempt under its cause, keeping
+// the delivery-conservation ledger balanced: a drop without a recorded cause
+// is exactly the silent message loss the auditor exists to catch.
+func (s *simulation) dropDelivery(cause string) {
+	if s.deliverDrops == nil {
+		s.deliverDrops = make(map[string]int)
+	}
+	s.deliverDrops[cause]++
 }
 
 // setVersion advances a node's content and records ground-truth catch-up
@@ -385,6 +408,9 @@ func (s *simulation) setVersion(nd *node, v int) {
 		if at := s.publishAt[id]; at > 0 && now >= at {
 			nd.catchupSum += (now - at).Seconds()
 			nd.catchupN++
+			if s.aud != nil && nd.idx > 0 {
+				s.aud.onDelay(nd.idx, now-at)
+			}
 			if s.cfg.OnCatchUp != nil && nd.idx > 0 {
 				s.cfg.OnCatchUp(nd.idx-1, id, now-at)
 			}
@@ -426,8 +452,42 @@ func (s *simulation) run() (*Result, error) {
 	s.scheduleUsers()
 	s.scheduleFailures()
 	s.scheduleFaults()
-	if err := s.eng.Run(s.horizon); err != nil {
-		return nil, fmt.Errorf("cdn: %w", err)
+	if s.cfg.Audit != nil {
+		s.aud = newAuditor(s)
+		// Sweeps are ordinary engine events: they observe exact virtual
+		// timestamps and never run concurrently with a handler.
+		if _, err := s.eng.Every(s.aud.cadence, func(*sim.Engine) { s.aud.sweep() }); err != nil {
+			return nil, fmt.Errorf("cdn: audit cadence: %w", err)
+		}
+	}
+	if s.cfg.Ctx != nil || s.cfg.OnTick != nil {
+		ctx := s.cfg.Ctx
+		s.eng.SetTick(0, func(e *sim.Engine) error {
+			if s.cfg.OnTick != nil {
+				s.cfg.OnTick(e.Now(), e.Processed())
+			}
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+			}
+			return nil
+		})
+	}
+	runErr := s.eng.Run(s.horizon)
+	if s.aud != nil {
+		// One final sweep over the drained state; a violation found here
+		// (or mid-run, which stopped the engine early) outranks any engine
+		// error because it explains it.
+		s.aud.sweep()
+		if v := s.aud.violation; v != nil {
+			return nil, v
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("cdn: %w", runErr)
 	}
 
 	res := &Result{
@@ -447,6 +507,9 @@ func (s *simulation) run() (*Result, error) {
 		ServerReparents:        s.serverReparents,
 		TTLFallbacks:           s.ttlFallbacks,
 		StaleObservations:      s.staleObservations,
+	}
+	if s.aud != nil {
+		res.AuditChecks = s.aud.checks
 	}
 	finalVersion := len(s.publishAt) - 1
 	for _, nd := range s.nodes[1:] {
@@ -550,6 +613,9 @@ func (s *simulation) failServer(v int) {
 	if nd.down {
 		return
 	}
+	if s.aud != nil {
+		defer s.aud.onTreeMutation(fmt.Sprintf("failServer(%d)", v))
+	}
 	nd.down = true
 	nd.gen++
 	s.crashes++
@@ -587,6 +653,9 @@ func (s *simulation) recoverServer(v int) {
 	nd := s.nodes[v]
 	if !nd.down {
 		return
+	}
+	if s.aud != nil {
+		defer s.aud.onTreeMutation(fmt.Sprintf("recoverServer(%d)", v))
 	}
 	nd.down = false
 	nd.gen++

@@ -1,0 +1,202 @@
+// Package checkpoint persists sweep progress so an interrupted experiment
+// run can resume without recomputing finished jobs. A Journal is a single
+// JSON file inside a caller-chosen directory, rewritten atomically
+// (write-temp, fsync, rename) after every completed job: a crash or SIGKILL
+// at any instant leaves either the previous or the next consistent journal on
+// disk, never a torn one.
+//
+// Every figure job in this repository is a pure function of its configuration
+// and seed, so the journal records each job's exact rendered output text (plus
+// informational metrics). Resuming therefore re-emits recorded outputs
+// verbatim and computes only the missing jobs — the resumed sweep's stdout is
+// byte-identical to an uninterrupted run's.
+//
+// The journal embeds a fingerprint of the sweep configuration. Opening an
+// existing journal with a different fingerprint is refused: replaying
+// outputs recorded under different parameters would silently mix sweeps.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// journalFile is the journal's filename inside the checkpoint directory.
+const journalFile = "journal.json"
+
+// Meta fingerprints the sweep a journal belongs to.
+type Meta struct {
+	// Tool names the producing command (e.g. "experiments").
+	Tool string `json:"tool"`
+	// Fingerprint holds the sweep parameters that must match for records
+	// to be reusable (scale, format, fault spec, job filter, ...).
+	Fingerprint map[string]string `json:"fingerprint"`
+}
+
+func (m Meta) equal(o Meta) bool {
+	if m.Tool != o.Tool || len(m.Fingerprint) != len(o.Fingerprint) {
+		return false
+	}
+	for k, v := range m.Fingerprint {
+		if o.Fingerprint[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// describe renders a fingerprint for mismatch errors, keys sorted.
+func (m Meta) describe() string {
+	keys := make([]string, 0, len(m.Fingerprint))
+	for k := range m.Fingerprint {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := m.Tool
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%s", k, m.Fingerprint[k])
+	}
+	return out
+}
+
+// Record is one completed job.
+type Record struct {
+	// ID is the job's stable identifier within the sweep.
+	ID string `json:"id"`
+	// Output is the job's exact rendered stdout text, re-emitted verbatim
+	// on resume.
+	Output string `json:"output"`
+	// WallMS and AllocMB are informational per-job metrics carried along
+	// so a resumed run can still report them.
+	WallMS  int64   `json:"wall_ms"`
+	AllocMB float64 `json:"alloc_mb,omitempty"`
+}
+
+// journalState is the on-disk shape.
+type journalState struct {
+	Meta Meta     `json:"meta"`
+	Jobs []Record `json:"jobs"`
+}
+
+// Journal is an append-only progress log. It is not safe for concurrent use;
+// callers record from a single goroutine (the sweep's ordered-emit path).
+type Journal struct {
+	dir   string
+	state journalState
+	done  map[string]int // job ID -> index in state.Jobs
+}
+
+// Open loads the journal in dir, creating the directory and an empty journal
+// when none exists. An existing journal whose meta does not match is refused
+// with an error naming both fingerprints.
+func Open(dir string, meta Meta) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{
+		dir:   dir,
+		state: journalState{Meta: meta},
+		done:  make(map[string]int),
+	}
+	raw, err := os.ReadFile(j.path())
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var loaded journalState
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt journal %s: %w", j.path(), err)
+	}
+	if !loaded.Meta.equal(meta) {
+		return nil, fmt.Errorf("checkpoint: journal %s was recorded for a different sweep:\n  journal: %s\n  current: %s",
+			j.path(), loaded.Meta.describe(), meta.describe())
+	}
+	j.state = loaded
+	for i, rec := range loaded.Jobs {
+		if _, dup := j.done[rec.ID]; dup {
+			return nil, fmt.Errorf("checkpoint: journal %s records job %q twice", j.path(), rec.ID)
+		}
+		j.done[rec.ID] = i
+	}
+	return j, nil
+}
+
+func (j *Journal) path() string { return filepath.Join(j.dir, journalFile) }
+
+// Dir returns the checkpoint directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Len reports how many jobs are recorded.
+func (j *Journal) Len() int { return len(j.state.Jobs) }
+
+// Done returns the record for a completed job, if present.
+func (j *Journal) Done(id string) (Record, bool) {
+	i, ok := j.done[id]
+	if !ok {
+		return Record{}, false
+	}
+	return j.state.Jobs[i], true
+}
+
+// Record appends one completed job and atomically rewrites the journal.
+// Re-recording an already-recorded ID is an error: it would mean the sweep
+// ran a job the journal said to skip.
+func (j *Journal) Record(rec Record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("checkpoint: record with empty ID")
+	}
+	if _, dup := j.done[rec.ID]; dup {
+		return fmt.Errorf("checkpoint: job %q already recorded", rec.ID)
+	}
+	j.state.Jobs = append(j.state.Jobs, rec)
+	j.done[rec.ID] = len(j.state.Jobs) - 1
+	if err := j.flush(); err != nil {
+		// Roll back the in-memory append so the journal and disk agree.
+		j.state.Jobs = j.state.Jobs[:len(j.state.Jobs)-1]
+		delete(j.done, rec.ID)
+		return err
+	}
+	return nil
+}
+
+// flush rewrites the journal atomically: the new content lands in a temp file
+// in the same directory, is fsynced, then renamed over the old journal.
+func (j *Journal) flush() error {
+	data, err := json.MarshalIndent(j.state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(j.dir, journalFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, j.path()); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{Tool: "experiments", Fingerprint: map[string]string{
+		"scale": "0.1", "format": "tsv", "only": "fig14a",
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d jobs", j.Len())
+	}
+	recs := []Record{
+		{ID: "fig14a", Output: "table A\nrow 1\n", WallMS: 120},
+		{ID: "fig16", Output: "table B\n", WallMS: 45, AllocMB: 1.5},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh process resuming from the same directory sees both records,
+	// verbatim and in order.
+	j2, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != len(recs) {
+		t.Fatalf("resumed journal has %d jobs, want %d", j2.Len(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := j2.Done(want.ID)
+		if !ok {
+			t.Fatalf("job %q lost across reopen", want.ID)
+		}
+		if got != want {
+			t.Errorf("job %q: got %+v, want %+v", want.ID, got, want)
+		}
+	}
+	if _, ok := j2.Done("fig17"); ok {
+		t.Error("unrecorded job reported done")
+	}
+}
+
+func TestRefusesMismatchedSweep(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Record{ID: "fig14a", Output: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	other := testMeta()
+	other.Fingerprint["scale"] = "1.0"
+	if _, err := Open(dir, other); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("mismatched fingerprint accepted: %v", err)
+	}
+	missing := Meta{Tool: "experiments", Fingerprint: map[string]string{"scale": "0.1"}}
+	if _, err := Open(dir, missing); err == nil {
+		t.Fatal("fingerprint with missing keys accepted")
+	}
+}
+
+func TestRefusesCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testMeta()); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt journal accepted: %v", err)
+	}
+}
+
+func TestRefusesDoubleRecord(t *testing.T) {
+	j, err := Open(t.TempDir(), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Record{ID: "fig14a", Output: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Record{ID: "fig14a", Output: "y"}); err == nil {
+		t.Fatal("double record accepted")
+	}
+	if err := j.Record(Record{}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+}
+
+// Atomicity: after every Record call, the on-disk journal parses and holds a
+// prefix of the recorded jobs — no torn intermediate states, and no stray
+// temp files left behind.
+func TestEveryFlushLeavesConsistentState(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"a", "b", "c", "d"} {
+		if err := j.Record(Record{ID: id, Output: id + "-out"}); err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := Open(dir, testMeta())
+		if err != nil {
+			t.Fatalf("after %d records: %v", i+1, err)
+		}
+		if reloaded.Len() != i+1 {
+			t.Fatalf("after %d records, disk holds %d", i+1, reloaded.Len())
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != journalFile {
+			t.Errorf("stray file %q left in checkpoint dir", e.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -193,6 +194,26 @@ func WithFailWindow(start, frac float64) Option {
 		c.FailWindowStart = start
 		c.FailWindowFrac = frac
 	}
+}
+
+// WithContext makes the run cancellable: the event loop polls ctx at a fixed
+// stride and aborts promptly with the context's error once cancelled.
+func WithContext(ctx context.Context) Option {
+	return func(c *cdn.Config) { c.Ctx = ctx }
+}
+
+// WithAudit enables the runtime invariant auditor at the given sweep cadence
+// (0 selects the default). The first violated conservation property aborts
+// the run as its error; metrics are unchanged by auditing.
+func WithAudit(cadence time.Duration) Option {
+	return func(c *cdn.Config) { c.Audit = &cdn.AuditOptions{Cadence: cadence} }
+}
+
+// WithTick installs a progress probe invoked from the event loop at a fixed
+// event stride with the current virtual time and processed-event count; it
+// backs stuck-job watchdogs and must not touch simulation state.
+func WithTick(fn func(now time.Duration, events uint64)) Option {
+	return func(c *cdn.Config) { c.OnTick = fn }
 }
 
 // defaultConfig mirrors the paper's Section 4 setup: 170 servers, 5 users

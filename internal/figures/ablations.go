@@ -167,7 +167,7 @@ func AblationFailure(scale SimScale) (*Table, error) {
 	}
 	degrees := []int{2, 4, 8}
 	results, err := collectRuns(t, scale.Parallel, len(degrees), func(i int) (*cdn.Result, error) {
-		res, err := runWith(cdn.Config{
+		res, err := runWith(scale, cdn.Config{
 			Method:   consistency.MethodTTL,
 			Infra:    consistency.InfraMulticast,
 			Topology: topologyConfig(scale),

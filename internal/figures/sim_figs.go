@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,6 +29,21 @@ type SimScale struct {
 	// execute concurrently (<= 1 means serial). Each run is deterministic
 	// from its explicit seed, so the setting never changes any number.
 	Parallel int
+
+	// Ctx, when non-nil, makes every simulation run cancellable: cancelling
+	// it aborts in-flight runs promptly with the context's error.
+	Ctx context.Context
+	// Audit enables the runtime invariant auditor inside every simulation
+	// run, sweeping at AuditCadence (0 = the auditor's default). A violated
+	// conservation property aborts the figure with a structured error;
+	// auditing never changes a figure's numbers.
+	Audit        bool
+	AuditCadence time.Duration
+	// Probe, when non-nil, is invoked from each run's event loop at a fixed
+	// event stride with the current virtual time and processed-event count.
+	// It backs stuck-job watchdogs; it may be called from whichever
+	// goroutine runs the simulation.
+	Probe func(now time.Duration, events uint64)
 }
 
 // DefaultSimScale reproduces the paper's deployment: 170 nodes, 5 users
@@ -70,6 +86,15 @@ func (s SimScale) opts(extra ...core.Option) []core.Option {
 		core.WithSeed(s.Seed),
 		core.WithGame(s.Game),
 		core.WithServerTTL(s.ServerTTL),
+	}
+	if s.Ctx != nil {
+		base = append(base, core.WithContext(s.Ctx))
+	}
+	if s.Audit {
+		base = append(base, core.WithAudit(s.AuditCadence))
+	}
+	if s.Probe != nil {
+		base = append(base, core.WithTick(s.Probe))
 	}
 	return append(base, extra...)
 }
@@ -408,8 +433,17 @@ func sharedTopology(scale SimScale) (*topology.Topology, error) {
 	})
 }
 
-// runWith is a convenience for the cdn-level ablations.
-func runWith(cfg cdn.Config) (*cdn.Result, error) { return cdn.Run(cfg) }
+// runWith is a convenience for the cdn-level ablations; it applies the
+// scale's cross-cutting run controls (context, auditor, probe) to a
+// hand-built config so ablations honor them like every option-built run.
+func runWith(scale SimScale, cfg cdn.Config) (*cdn.Result, error) {
+	cfg.Ctx = scale.Ctx
+	if scale.Audit {
+		cfg.Audit = &cdn.AuditOptions{Cadence: scale.AuditCadence}
+	}
+	cfg.OnTick = scale.Probe
+	return cdn.Run(cfg)
+}
 
 // workloadSingle builds a single-phase update schedule config.
 func workloadSingle(duration, meanGap time.Duration) workload.GameConfig {

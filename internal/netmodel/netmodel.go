@@ -239,7 +239,7 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 	arrival := start + tx + prop + slowdown
 
 	km := geo.DistanceKm(from.Loc, to.Loc)
-	n.acct.record(class, km, sizeKB)
+	n.acct.record(class, from.ID, km, sizeKB)
 
 	// Lossy path: each lost transmission costs a retransmission timeout
 	// and is re-sent (and re-accounted — the bytes really crossed the
@@ -247,7 +247,7 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 	if n.cfg.LossProb > 0 && n.rng != nil {
 		for n.rng.Float64() < n.cfg.LossProb {
 			arrival += n.cfg.RetransmitTimeout + tx
-			n.acct.record(class, km, sizeKB)
+			n.acct.record(class, from.ID, km, sizeKB)
 		}
 	}
 	return arrival
@@ -267,28 +267,46 @@ type ClassTotals struct {
 	KmKB     float64 // traffic cost (Fig. 16/17), sum of distance*size
 }
 
-// Accounting aggregates traffic per message class.
+// Accounting aggregates traffic twice over the same message stream: per
+// message class (the figures' breakdown) and per sending endpoint (the
+// per-server ledger). The two aggregations are maintained independently so
+// the invariant auditor can cross-check them — per-sender totals must sum to
+// the per-class totals, or a message was dropped from one ledger.
 type Accounting struct {
-	ByClass map[Class]ClassTotals
+	ByClass  map[Class]ClassTotals
+	BySender map[string]ClassTotals
 }
 
 func newAccounting() Accounting {
-	return Accounting{ByClass: make(map[Class]ClassTotals)}
+	return Accounting{
+		ByClass:  make(map[Class]ClassTotals),
+		BySender: make(map[string]ClassTotals),
+	}
 }
 
-func (a *Accounting) record(class Class, km, kb float64) {
+func (a *Accounting) record(class Class, sender string, km, kb float64) {
 	t := a.ByClass[class]
 	t.Messages++
 	t.KB += kb
 	t.Km += km
 	t.KmKB += km * kb
 	a.ByClass[class] = t
+
+	s := a.BySender[sender]
+	s.Messages++
+	s.KB += kb
+	s.Km += km
+	s.KmKB += km * kb
+	a.BySender[sender] = s
 }
 
 func (a Accounting) clone() Accounting {
 	out := newAccounting()
 	for k, v := range a.ByClass {
 		out.ByClass[k] = v
+	}
+	for k, v := range a.BySender {
+		out.BySender[k] = v
 	}
 	return out
 }
@@ -312,5 +330,16 @@ func (a Accounting) Classes() []Class {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Senders returns the sending endpoint IDs present, sorted, for stable
+// iteration.
+func (a Accounting) Senders() []string {
+	out := make([]string, 0, len(a.BySender))
+	for id := range a.BySender {
+		out = append(out, id)
+	}
+	sort.Strings(out)
 	return out
 }

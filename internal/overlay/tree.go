@@ -9,6 +9,7 @@ package overlay
 import (
 	"fmt"
 
+	"cdnconsistency/internal/audit"
 	"cdnconsistency/internal/geo"
 )
 
@@ -336,51 +337,27 @@ func (t *Tree) recomputeDepths() {
 // Validate checks structural invariants: node 0 is the only root, the
 // structure is a connected acyclic tree over live nodes, degrees respect the
 // bound, and parent/children agree. alive may be nil, meaning all nodes live.
+//
+// The structural half (root, degree, parent/children agreement, acyclic
+// connectivity) is the shared audit.CheckTree predicate — the same property
+// the runtime invariant auditor verifies during live runs — so offline tests
+// and online audits cannot drift apart. Validate additionally checks the
+// cached depth array, which is an overlay implementation detail the auditor
+// does not see.
 func (t *Tree) Validate(degree int, alive []bool) error {
-	n := len(t.parent)
+	if v := audit.CheckTree(t, degree, alive, false); v != nil {
+		return fmt.Errorf("overlay: %w", v)
+	}
 	isLive := func(i int) bool { return alive == nil || alive[i] }
-	if n == 0 {
-		return fmt.Errorf("overlay: empty tree")
-	}
-	if t.parent[0] != NoParent {
-		return fmt.Errorf("overlay: root has parent %d", t.parent[0])
-	}
-	seen := 0
-	for i := 0; i < n; i++ {
+	for i := range t.parent {
 		if !isLive(i) {
 			continue
 		}
-		seen++
-		if degree > 0 && len(t.children[i]) > degree {
-			return fmt.Errorf("overlay: node %d degree %d exceeds %d", i, len(t.children[i]), degree)
-		}
 		for _, c := range t.children[i] {
-			if t.parent[c] != i {
-				return fmt.Errorf("overlay: child %d of %d has parent %d", c, i, t.parent[c])
-			}
 			if t.depth[c] != t.depth[i]+1 {
 				return fmt.Errorf("overlay: depth of %d is %d, parent depth %d", c, t.depth[c], t.depth[i])
 			}
 		}
-		if i != 0 {
-			if t.parent[i] == NoParent {
-				return fmt.Errorf("overlay: live node %d detached", i)
-			}
-			// Walk to the root, bounded by n steps (cycle guard).
-			cur := i
-			for steps := 0; cur != 0; steps++ {
-				if steps > n {
-					return fmt.Errorf("overlay: cycle reaching root from %d", i)
-				}
-				cur = t.parent[cur]
-				if cur == NoParent {
-					return fmt.Errorf("overlay: node %d not connected to root", i)
-				}
-			}
-		}
-	}
-	if seen == 0 {
-		return fmt.Errorf("overlay: no live nodes")
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestContextCancelSkipsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job[int], 6)
+	var ran atomic.Int32
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(*Metrics) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				cancel() // the running job observes cancellation mid-sweep
+			}
+			return i, nil
+		}}
+	}
+	// Serial pool: job 0 runs and cancels; 1..5 must never start.
+	results := All(jobs, Options{Workers: 1, Context: ctx})
+	if results[0].Err != nil || results[0].Value != 0 {
+		t.Fatalf("in-flight job aborted by pool: %+v", results[0])
+	}
+	for _, r := range results[1:] {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("job %s: err = %v, want ErrCanceled", r.ID, r.Err)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %s: cancellation cause not preserved: %v", r.ID, r.Err)
+		}
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("%d jobs ran after cancellation, want 1", got)
+	}
+}
+
+func TestContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := All([]Job[int]{
+		{ID: "a", Run: func(*Metrics) (int, error) { t.Error("job ran"); return 0, nil }},
+	}, Options{Workers: 4, Context: ctx})
+	if !errors.Is(results[0].Err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", results[0].Err)
+	}
+}
+
+// Regression: every early-return path — fail-fast, emit abort, context
+// cancellation — must drain its worker goroutines before returning. A leaked
+// worker would accumulate across sweep invocations and eventually exhaust
+// the scheduler.
+func TestNoWorkerGoroutineLeakOnEarlyReturn(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	fail := errors.New("boom")
+	jobs := make([]Job[int], 32)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(*Metrics) (int, error) {
+			if i == 3 {
+				return 0, fail
+			}
+			return i, nil
+		}}
+	}
+
+	// Fail-fast trip.
+	All(jobs, Options{Workers: 8, FailFast: true})
+	// Emit abort.
+	_ = ForEachOrdered(jobs, Options{Workers: 8}, func(i int, r Result[int]) error {
+		if i == 2 {
+			return fail
+		}
+		return nil
+	})
+	// Context cancellation mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	All(jobs, Options{Workers: 8, Context: ctx})
+
+	// Workers exit after wg.Wait inside the calls above, but give the
+	// runtime a moment to reap them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestWatchdogReportsStuckJob(t *testing.T) {
+	type report struct {
+		jobID, probe string
+		stacks       string
+	}
+	got := make(chan report, 1)
+	release := make(chan struct{})
+	jobs := []Job[int]{{ID: "slow", Run: func(m *Metrics) (int, error) {
+		m.SetProbe("sim-clock 12m30s, 42 events")
+		<-release
+		return 1, nil
+	}}}
+	done := make(chan []Result[int], 1)
+	go func() {
+		done <- All(jobs, Options{
+			Workers:    1,
+			StuckAfter: 20 * time.Millisecond,
+			OnStuck: func(id string, elapsed time.Duration, probe string, stacks []byte) {
+				select {
+				case got <- report{id, probe, string(stacks)}:
+				default:
+				}
+			},
+		})
+	}()
+	select {
+	case r := <-got:
+		if r.jobID != "slow" {
+			t.Errorf("watchdog reported job %q", r.jobID)
+		}
+		if !strings.Contains(r.probe, "sim-clock 12m30s") {
+			t.Errorf("report lacks the job's probe: %q", r.probe)
+		}
+		if !strings.Contains(r.stacks, "goroutine") {
+			t.Errorf("report lacks goroutine stacks: %.80q", r.stacks)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired for a stuck job")
+	}
+	close(release)
+	results := <-done
+	if results[0].Err != nil || results[0].Value != 1 {
+		t.Fatalf("watchdog killed the job: %+v", results[0])
+	}
+}
+
+func TestWatchdogSilentForFastJobs(t *testing.T) {
+	var fired atomic.Int32
+	All([]Job[int]{
+		{ID: "fast", Run: func(*Metrics) (int, error) { return 1, nil }},
+	}, Options{
+		Workers:    1,
+		StuckAfter: 30 * time.Millisecond,
+		OnStuck: func(string, time.Duration, string, []byte) {
+			fired.Add(1)
+		},
+	})
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Error("watchdog fired for a job that finished in time")
+	}
+}
+
+func TestProbeIsSafeWithoutPool(t *testing.T) {
+	var m Metrics // zero value, no pool: SetProbe must not panic
+	m.SetProbe("x")
+	if m.Probe() != "" {
+		t.Error("zero-value Metrics stored a probe")
+	}
+}

@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -24,6 +25,7 @@ import (
 	"runtime/metrics"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,10 +43,33 @@ type Metrics struct {
 	AllocBytes uint64
 	// Panicked reports that Err wraps a recovered panic (*PanicError).
 	Panicked bool
+
+	// probe is the job's latest liveness report, read by the stuck-job
+	// watchdog from its timer goroutine. A pointer so Metrics stays
+	// copyable by value in Result.
+	probe *atomic.Value
 }
 
 // AddEvents accumulates a job-reported progress count.
 func (m *Metrics) AddEvents(n uint64) { m.Events += n }
+
+// SetProbe publishes the job's current progress (e.g. "sim-clock 12m30s,
+// 1.2M events") for the stuck-job watchdog to include in its report. Safe to
+// call from the running job while the watchdog fires concurrently.
+func (m *Metrics) SetProbe(s string) {
+	if m.probe != nil {
+		m.probe.Store(s)
+	}
+}
+
+// Probe returns the latest SetProbe value, or "" when none was published.
+func (m *Metrics) Probe() string {
+	if m.probe == nil {
+		return ""
+	}
+	s, _ := m.probe.Load().(string)
+	return s
+}
 
 // Job is one independent unit of work.
 type Job[T any] struct {
@@ -73,11 +98,31 @@ type Options struct {
 	// finish, so the lowest-index failure is always executed and its
 	// error is deterministic run to run.
 	FailFast bool
+	// Context, when non-nil, cancels dispatch: once it is done, jobs not
+	// yet started complete with an error wrapping ErrCanceled (and the
+	// context's cause). In-flight jobs are not interrupted by the pool —
+	// cancellation-aware jobs observe the same context themselves and
+	// return early.
+	Context context.Context
+	// StuckAfter arms a per-job watchdog: a job still running after this
+	// wall-clock duration is reported once via OnStuck with the job's
+	// latest probe (Metrics.SetProbe) and a full goroutine stack dump. The
+	// job is not killed — the report exists so an operator can tell a
+	// livelocked sweep from a slow one. Zero disables the watchdog;
+	// OnStuck must be non-nil for it to arm.
+	StuckAfter time.Duration
+	// OnStuck receives watchdog reports. It runs on the watchdog's timer
+	// goroutine, possibly concurrent with emit and other jobs.
+	OnStuck func(jobID string, elapsed time.Duration, probe string, stacks []byte)
 }
 
 // ErrSkipped marks a job that was never started because an earlier job
 // failed under FailFast.
 var ErrSkipped = errors.New("runner: job skipped after earlier failure")
+
+// ErrCanceled marks a job that was never started because the pool's context
+// was cancelled.
+var ErrCanceled = errors.New("runner: job canceled before start")
 
 // PanicError is the error recorded for a job that panicked.
 type PanicError struct {
@@ -123,8 +168,9 @@ func ForEachOrdered[T any](jobs []Job[T], opts Options, emit func(i int, r Resul
 
 	var (
 		mu      sync.Mutex
-		next    int  // next job index to hand out
-		stopped bool // fail-fast tripped or emit aborted
+		next    int   // next job index to hand out
+		stopped bool  // fail-fast tripped, emit aborted, or context cancelled
+		cause   error // why undispatched jobs are skipped; nil means ErrSkipped
 	)
 	results := make([]Result[T], n)
 	done := make([]chan struct{}, n)
@@ -146,14 +192,34 @@ func ForEachOrdered[T any](jobs []Job[T], opts Options, emit func(i int, r Resul
 				i := next
 				next++
 				skip := stopped
+				skipErr := cause
 				mu.Unlock()
 
 				if skip {
-					results[i] = Result[T]{ID: jobs[i].ID, Err: ErrSkipped}
+					if skipErr == nil {
+						skipErr = ErrSkipped
+					}
+					results[i] = Result[T]{ID: jobs[i].ID, Err: skipErr}
 					close(done[i])
 					continue
 				}
-				r := execute(jobs[i])
+				if ctx := opts.Context; ctx != nil {
+					select {
+					case <-ctx.Done():
+						// Stop dispatch and record why, so every later job
+						// reports the cancellation (not a generic skip).
+						err := fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+						mu.Lock()
+						stopped = true
+						cause = err
+						mu.Unlock()
+						results[i] = Result[T]{ID: jobs[i].ID, Err: err}
+						close(done[i])
+						continue
+					default:
+					}
+				}
+				r := execute(jobs[i], opts)
 				if r.Err != nil && opts.FailFast {
 					mu.Lock()
 					stopped = true
@@ -183,9 +249,22 @@ func ForEachOrdered[T any](jobs []Job[T], opts Options, emit func(i int, r Resul
 }
 
 // execute runs one job, filling in its metrics and converting a panic into
-// a *PanicError so one bad job cannot kill the whole run.
-func execute[T any](j Job[T]) (r Result[T]) {
+// a *PanicError so one bad job cannot kill the whole run. When the watchdog
+// is armed, a job still running after StuckAfter is reported once with its
+// latest probe and a full goroutine dump.
+func execute[T any](j Job[T], opts Options) (r Result[T]) {
 	r.ID = j.ID
+	r.Metrics.probe = new(atomic.Value)
+	if opts.StuckAfter > 0 && opts.OnStuck != nil {
+		m := &r.Metrics // the watchdog reads the probe the job writes
+		start := time.Now()
+		w := time.AfterFunc(opts.StuckAfter, func() {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			opts.OnStuck(j.ID, time.Since(start), m.Probe(), buf[:n])
+		})
+		defer w.Stop()
+	}
 	allocStart := heapAllocBytes()
 	start := time.Now()
 	defer func() {
