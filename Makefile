@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments fuzz audit-smoke
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke
 
 check: build vet race
 
@@ -18,8 +18,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark sweep -> BENCH_<n>.json at the next free index, with an
+# informational diff against the newest committed baseline. See
+# scripts/bench.sh for the BENCH_* environment knobs.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x .
+	./scripts/bench.sh
+
+# The CI regression gate: the guarded figure + hot-path benchmarks only,
+# compared strictly (>20% ns/op or allocs/op fails) against the newest
+# committed BENCH_<n>.json.
+bench-smoke:
+	BENCH_PATTERN='Fig19$$|Fig20$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
+	BENCH_TIME=2x BENCH_COUNT=3 BENCH_STRICT=1 \
+	BENCH_GUARD='Fig19,Fig20' \
+	./scripts/bench.sh $(CURDIR)/.bench-smoke.json
+	rm -f $(CURDIR)/.bench-smoke.json
+
+# CPU + heap profiles for the Figure 19 sweep (the engine hot path), ready
+# for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/experiments -scale small -only fig19 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "profile: wrote cpu.pprof and mem.pprof; inspect with:"
+	@echo "  go tool pprof -top cpu.pprof"
+	@echo "  go tool pprof -top -sample_index=alloc_objects mem.pprof"
 
 # Fast full regeneration pass; see EXPERIMENTS.md for the paper-scale run.
 experiments:

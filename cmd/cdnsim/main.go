@@ -11,6 +11,7 @@
 //	cdnsim -faults @scenario.json          # hand-written fault spec
 //	cdnsim -system HAT -audit              # run under the invariant auditor
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
+//	cdnsim -system HAT -cpuprofile cpu.out # pprof CPU profile (also -memprofile, -trace)
 //
 // SIGINT/SIGTERM cancels the simulation promptly at its next event-loop
 // tick; -timeout bounds the run's wall-clock time the same way.
@@ -31,6 +32,7 @@ import (
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/stats"
 )
 
@@ -43,7 +45,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
 	var (
 		system    = fs.String("system", "", "named system: Push, Invalidation, TTL, Self, Hybrid, HAT")
@@ -62,10 +64,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
+		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	profStop, profErr := profiling.Start(profiling.Config{CPUProfile: *cpuprof, MemProfile: *memprof, Trace: *traceOut})
+	if profErr != nil {
+		return profErr
+	}
+	defer func() {
+		if perr := profStop(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	if *timeout < 0 || *auditCad < 0 {
 		return fmt.Errorf("-timeout and -audit-cadence must be >= 0")
 	}

@@ -26,6 +26,12 @@
 //	experiments -resume d            # continue an interrupted sweep from d
 //	experiments -timeout 10m         # per-figure deadline
 //	experiments -stuck 2m            # report (not kill) figures still running after 2m
+//	experiments -cpuprofile cpu.out  # pprof CPU profile of the whole run
+//	experiments -memprofile mem.out  # pprof heap profile (post-GC, at exit)
+//	experiments -trace trace.out     # runtime execution trace
+//
+// Profiling never changes results: simulations are deterministic from
+// their seeds, so output stays byte-identical with collectors attached.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"cdnconsistency/internal/checkpoint"
 	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/figures"
+	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/runner"
 )
 
@@ -76,7 +83,7 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	return s.w.Write(p)
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		scaleName = fs.String("scale", "paper", "scale: paper or small")
@@ -91,10 +98,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		resumeDir = fs.String("resume", "", "resume an interrupted sweep from this checkpoint directory, re-emitting recorded figures verbatim")
 		timeout   = fs.Duration("timeout", 0, "per-figure deadline; a figure exceeding it aborts the sweep (0 = none)")
 		stuck     = fs.Duration("stuck", 0, "report a figure still running after this wall-clock duration to stderr with its sim-clock probe and goroutine stacks; the figure is not killed (0 = off)")
+		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	profStop, profErr := profiling.Start(profiling.Config{CPUProfile: *cpuprof, MemProfile: *memprof, Trace: *traceOut})
+	if profErr != nil {
+		return profErr
+	}
+	defer func() {
+		if perr := profStop(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	}

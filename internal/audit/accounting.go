@@ -11,29 +11,53 @@ import (
 // different order, so their sums differ by rounding, never by more.
 const relTol = 1e-9
 
+// AccountingReader is the read shape the accounting predicates need. Both
+// netmodel.Accounting (a materialized snapshot) and netmodel.AccountingView
+// (a copy-free window onto the live ledgers) satisfy it, so the runtime
+// auditor can sweep without cloning the ledger each cadence.
+type AccountingReader interface {
+	// Total sums the per-class ledger.
+	Total() netmodel.ClassTotals
+	// EachSender visits every endpoint with at least one sent message, in a
+	// deterministic order.
+	EachSender(fn func(id string, t netmodel.ClassTotals))
+}
+
 // CheckAccounting verifies the traffic accounting's conservation properties:
 // every per-class and per-sender total is finite and non-negative, and the
 // two independent aggregations of the same message stream — by class and by
 // sending endpoint — agree on message count, payload, distance, and cost.
 // A mismatch means a message was recorded in one ledger but not the other:
 // exactly the silent corruption that would skew the km·KB figures.
-func CheckAccounting(a netmodel.Accounting) *Violation {
+//
+// CheckAccounting itself allocates nothing when given a copy-free reader, so
+// per-sweep audit cost no longer grows a garbage ledger clone per sweep.
+func CheckAccounting(a AccountingReader) *Violation {
 	classTotal := a.Total()
 	if v := checkTotals("class aggregate", classTotal); v != nil {
 		return v
 	}
 	var senderTotal netmodel.ClassTotals
-	for _, id := range a.Senders() {
-		t := a.BySender[id]
-		if v := checkTotals("sender "+id, t); v != nil {
-			return v
+	var badSender *Violation
+	senders := 0
+	a.EachSender(func(id string, t netmodel.ClassTotals) {
+		senders++
+		// Fast numeric check first: the violation label concatenation must
+		// only be paid on the failure path, or the sweep allocates one
+		// string per sender per cadence.
+		if badSender == nil && !totalsOK(t) {
+			badSender = checkTotals("sender "+id, t)
+			return
 		}
 		senderTotal.Messages += t.Messages
 		senderTotal.KB += t.KB
 		senderTotal.Km += t.Km
 		senderTotal.KmKB += t.KmKB
+	})
+	if badSender != nil {
+		return badSender
 	}
-	if len(a.BySender) == 0 && classTotal.Messages == 0 {
+	if senders == 0 && classTotal.Messages == 0 {
 		return nil // nothing sent yet
 	}
 	if senderTotal.Messages != classTotal.Messages {
@@ -55,6 +79,13 @@ func CheckAccounting(a netmodel.Accounting) *Violation {
 		}
 	}
 	return nil
+}
+
+// totalsOK is the allocation-free predicate behind checkTotals; callers on
+// the hot path gate on it before paying for a labelled Violation.
+func totalsOK(t netmodel.ClassTotals) bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }
+	return t.Messages >= 0 && finite(t.KB) && finite(t.Km) && finite(t.KmKB)
 }
 
 func checkTotals(label string, t netmodel.ClassTotals) *Violation {

@@ -191,7 +191,9 @@ func (a *auditor) check() *audit.Violation {
 	if v := a.checkDelivery(); v != nil {
 		return v
 	}
-	return audit.CheckAccounting(s.net.Accounting())
+	// The copy-free view keeps the per-sweep conservation check from cloning
+	// the whole per-sender ledger every cadence.
+	return audit.CheckAccounting(s.net.View())
 }
 
 // checkNodes verifies per-node version and catch-up accounting invariants:

@@ -136,16 +136,11 @@ func (s *simulation) pollBackoff(attempt int) time.Duration {
 
 // pollAfter resumes a node's poll loop after d, unless the node crashed or
 // recovered (generation change) in the meantime — recovery starts its own
-// fresh loop.
+// fresh loop. The resume is scheduled closure-free: together with the user
+// visit loop it dominates event volume under TTL regimes, so one allocation
+// per cycle here is one allocation per simulated poll.
 func (s *simulation) pollAfter(i int, d time.Duration) {
-	nd := s.nodes[i]
-	gen := nd.gen
-	s.at(s.eng.Now()+d, func() {
-		if nd.down || nd.gen != gen {
-			return
-		}
-		s.pollAttempt(i, 0)
-	})
+	s.eng.ScheduleAfterFunc(d, pollResumeEvent, s, packNodeGen(i, s.nodes[i].gen))
 }
 
 // armWatchdog starts the subscription watchdog on a node whose poll loop is

@@ -918,9 +918,38 @@ func (s *simulation) notifySubscribers(src *node) {
 	}
 }
 
-// at schedules f at an absolute time, tolerating the horizon cutoff.
+// at schedules f at an absolute time, tolerating the horizon cutoff. It
+// rides the engine's thunk path, so the engine side of every protocol
+// continuation is allocation-free (f itself may still be a closure).
 func (s *simulation) at(t time.Duration, f func()) {
-	s.eng.ScheduleAt(t, func(*sim.Engine) { f() }) //nolint:errcheck // t >= now by construction
+	s.eng.ScheduleAtCall(t, f) //nolint:errcheck // t >= now by construction
+}
+
+// packNodeGen packs a node index and its generation into one scheduling
+// argument for the closure-free handlers below.
+func packNodeGen(i, gen int) int64 { return int64(i)<<32 | int64(uint32(gen)) }
+
+func unpackNodeGen(a int64) (i, gen int) { return int(a >> 32), int(uint32(a)) }
+
+// visitEvent is the closure-free user visit-loop handler; arg is the user's
+// index in s.users. The visit loop is the highest-volume periodic loop in
+// every TTL-family run, so its rescheduling must not allocate.
+func visitEvent(_ *sim.Engine, recv any, arg int64) {
+	s := recv.(*simulation)
+	s.visit(s.users[arg])
+}
+
+// pollResumeEvent resumes a node's TTL poll loop unless the node crashed or
+// recovered (generation change) since the resume was armed; arg packs the
+// node index and the generation at arming time.
+func pollResumeEvent(_ *sim.Engine, recv any, arg int64) {
+	s := recv.(*simulation)
+	i, gen := unpackNodeGen(arg)
+	nd := s.nodes[i]
+	if nd.down || nd.gen != gen {
+		return
+	}
+	s.pollAttempt(i, 0)
 }
 
 // sortedKeys returns a map's keys in ascending order, for deterministic

@@ -25,7 +25,7 @@ func (s *simulation) scheduleUsers() {
 			}
 			s.users = append(s.users, u)
 			offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.UserStartMax)))
-			s.at(offset, func() { s.visit(u) })
+			s.eng.ScheduleAfterFunc(offset, visitEvent, s, int64(u.idx))
 		}
 	}
 }
@@ -80,7 +80,7 @@ func (s *simulation) visit(u *user) {
 		s.observe(u, nd.version)
 	}
 
-	s.at(s.eng.Now()+s.cfg.UserTTL, func() { s.visit(u) })
+	s.eng.ScheduleAfterFunc(s.cfg.UserTTL, visitEvent, s, int64(u.idx))
 }
 
 // routeVisit picks the serving server for this visit.

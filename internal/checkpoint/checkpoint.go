@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // journalFile is the journal's filename inside the checkpoint directory.
@@ -81,10 +82,13 @@ type journalState struct {
 	Jobs []Record `json:"jobs"`
 }
 
-// Journal is an append-only progress log. It is not safe for concurrent use;
-// callers record from a single goroutine (the sweep's ordered-emit path).
+// Journal is an append-only progress log. Done/Len/Record are safe for
+// concurrent use: a parallel sweep's worker goroutines consult Done while
+// the ordered-emit goroutine appends via Record.
 type Journal struct {
-	dir   string
+	dir string
+
+	mu    sync.RWMutex
 	state journalState
 	done  map[string]int // job ID -> index in state.Jobs
 }
@@ -135,10 +139,16 @@ func (j *Journal) path() string { return filepath.Join(j.dir, journalFile) }
 func (j *Journal) Dir() string { return j.dir }
 
 // Len reports how many jobs are recorded.
-func (j *Journal) Len() int { return len(j.state.Jobs) }
+func (j *Journal) Len() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.state.Jobs)
+}
 
 // Done returns the record for a completed job, if present.
 func (j *Journal) Done(id string) (Record, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	i, ok := j.done[id]
 	if !ok {
 		return Record{}, false
@@ -153,6 +163,8 @@ func (j *Journal) Record(rec Record) error {
 	if rec.ID == "" {
 		return fmt.Errorf("checkpoint: record with empty ID")
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if _, dup := j.done[rec.ID]; dup {
 		return fmt.Errorf("checkpoint: job %q already recorded", rec.ID)
 	}

@@ -116,14 +116,43 @@ func (c Config) withDefaults() (Config, error) {
 // Network computes delivery delays and accumulates traffic accounting.
 // It is not safe for concurrent use; the discrete-event simulation is
 // single-threaded by design.
+//
+// Per-endpoint state (output-port queue, overload factor, per-sender ledger)
+// is held in dense slices indexed by an interned endpoint id assigned at
+// first use, so the per-Send bookkeeping costs one string-map lookup and a
+// handful of slice writes instead of several map operations. The interning
+// order is the deterministic first-send order, so dense indexing cannot leak
+// nondeterminism into any output.
 type Network struct {
-	cfg        Config
-	rng        *rand.Rand
-	busyUntil  map[string]time.Duration
-	acct       Accounting
+	cfg Config
+	rng *rand.Rand
+
+	// senderIdx interns endpoint IDs; ids is the inverse mapping. The
+	// busyUntil, overload, and bySender columns are all indexed by the
+	// interned id and grown in lockstep.
+	senderIdx map[string]int
+	ids       []string
+	busyUntil []time.Duration
+	overload  []float64 // service-delay multiplier; <= 1 means none
+
+	// byClass and bySender are the two independent ledgers over the same
+	// message stream (see Accounting). byClass is indexed by Class, which is
+	// a small dense enum; classMax pre-sizes it.
+	byClass  []ClassTotals
+	bySender []ClassTotals
+
+	// distKm caches the great-circle distance between interned endpoint
+	// pairs (key fromIdx<<32|toIdx): the haversine trigonometry is a large
+	// fraction of Send's cost and a simulation sends along a bounded set of
+	// pairs millions of times. The cache assumes an endpoint ID names a
+	// stable location, which is how the simulation uses the model.
+	distKm map[uint64]float64
+
 	partitions map[int]map[int]bool // partition group -> isolated ISP set
-	overload   map[string]float64   // endpoint ID -> service-delay multiplier
 }
+
+// classMax pre-sizes the per-class ledger for the known message classes.
+const classMax = int(ClassContent) + 1
 
 // New returns a Network with the given configuration, or an error when the
 // configuration is invalid (e.g. LossProb outside [0, 1)). rng may be nil
@@ -136,9 +165,37 @@ func New(cfg Config, rng *rand.Rand) (*Network, error) {
 	return &Network{
 		cfg:       eff,
 		rng:       rng,
-		busyUntil: make(map[string]time.Duration),
-		acct:      newAccounting(),
+		senderIdx: make(map[string]int),
+		byClass:   make([]ClassTotals, classMax),
+		distKm:    make(map[uint64]float64),
 	}, nil
+}
+
+// distance returns the cached great-circle km between two interned
+// endpoints, computing it on first use.
+func (n *Network) distance(fi, ti int, from, to Endpoint) float64 {
+	key := uint64(fi)<<32 | uint64(uint32(ti))
+	if km, ok := n.distKm[key]; ok {
+		return km
+	}
+	km := geo.DistanceKm(from.Loc, to.Loc)
+	n.distKm[key] = km
+	return km
+}
+
+// intern returns the dense index of the endpoint id, assigning one (and
+// growing every per-endpoint column) on first use.
+func (n *Network) intern(id string) int {
+	if i, ok := n.senderIdx[id]; ok {
+		return i
+	}
+	i := len(n.ids)
+	n.senderIdx[id] = i
+	n.ids = append(n.ids, id)
+	n.busyUntil = append(n.busyUntil, 0)
+	n.overload = append(n.overload, 0)
+	n.bySender = append(n.bySender, ClassTotals{})
+	return i
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -181,19 +238,26 @@ func (n *Network) SetOverload(id string, factor float64) {
 	if factor <= 1 {
 		return
 	}
-	if n.overload == nil {
-		n.overload = make(map[string]float64)
-	}
-	n.overload[id] = factor
+	n.overload[n.intern(id)] = factor
 }
 
 // ClearOverload restores the named endpoint's normal service delay.
-func (n *Network) ClearOverload(id string) { delete(n.overload, id) }
+func (n *Network) ClearOverload(id string) {
+	if i, ok := n.senderIdx[id]; ok {
+		n.overload[i] = 0
+	}
+}
 
 // PropagationDelay returns the one-way propagation component between two
 // endpoints, excluding transmission and queuing.
 func (n *Network) PropagationDelay(from, to Endpoint) time.Duration {
-	km := geo.DistanceKm(from.Loc, to.Loc)
+	return n.propagationFromKm(geo.DistanceKm(from.Loc, to.Loc), from, to)
+}
+
+// propagationFromKm is PropagationDelay with the distance already in hand,
+// so Send computes (or cache-loads) the great-circle distance exactly once
+// per message for both delay and accounting.
+func (n *Network) propagationFromKm(km float64, from, to Endpoint) time.Duration {
 	d := time.Duration(km / n.cfg.PropagationKmPerSec * float64(time.Second))
 	d += n.cfg.BaseDelay
 	if from.ISP != to.ISP {
@@ -214,32 +278,35 @@ func (n *Network) transmissionDelay(from Endpoint, sizeKB float64) time.Duration
 // Send records a message of sizeKB from one endpoint to another at virtual
 // time now, and returns its arrival time. Queuing at the sender's output
 // port is modeled: the transmission starts when the uplink frees up.
+// Once the sender's id is interned (its first send), Send allocates nothing.
 func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.Duration) time.Duration {
 	if sizeKB < 0 {
 		sizeKB = 0
 	}
+	si := n.intern(from.ID)
+	ti := n.intern(to.ID)
+	km := n.distance(si, ti, from, to)
 	tx := n.transmissionDelay(from, sizeKB)
 	var slowdown time.Duration
-	if factor, ok := n.overload[from.ID]; ok {
+	if factor := n.overload[si]; factor > 1 {
 		// An overloaded sender serializes slower and adds processing lag.
 		tx = time.Duration(float64(tx) * factor)
 		slowdown = time.Duration(float64(n.cfg.BaseDelay) * (factor - 1))
 	}
 	start := now
 	if !n.cfg.DisableQueuing {
-		if busy := n.busyUntil[from.ID]; busy > start {
+		if busy := n.busyUntil[si]; busy > start {
 			start = busy
 		}
-		n.busyUntil[from.ID] = start + tx
+		n.busyUntil[si] = start + tx
 	}
-	prop := n.PropagationDelay(from, to)
+	prop := n.propagationFromKm(km, from, to)
 	if n.cfg.JitterFrac > 0 && n.rng != nil {
 		prop += time.Duration(n.rng.Float64() * n.cfg.JitterFrac * float64(prop))
 	}
 	arrival := start + tx + prop + slowdown
 
-	km := geo.DistanceKm(from.Loc, to.Loc)
-	n.acct.record(class, from.ID, km, sizeKB)
+	n.record(class, si, km, sizeKB)
 
 	// Lossy path: each lost transmission costs a retransmission timeout
 	// and is re-sent (and re-accounted — the bytes really crossed the
@@ -247,17 +314,113 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 	if n.cfg.LossProb > 0 && n.rng != nil {
 		for n.rng.Float64() < n.cfg.LossProb {
 			arrival += n.cfg.RetransmitTimeout + tx
-			n.acct.record(class, from.ID, km, sizeKB)
+			n.record(class, si, km, sizeKB)
 		}
 	}
 	return arrival
 }
 
-// Accounting returns a snapshot of the traffic accounting so far.
-func (n *Network) Accounting() Accounting { return n.acct.clone() }
+// record books one transmission into both ledgers. The two aggregations are
+// written independently on purpose: the auditor cross-checks them against
+// each other, so a message dropped from one ledger is detectable.
+func (n *Network) record(class Class, sender int, km, kb float64) {
+	for int(class) >= len(n.byClass) {
+		n.byClass = append(n.byClass, ClassTotals{})
+	}
+	t := &n.byClass[class]
+	t.Messages++
+	t.KB += kb
+	t.Km += km
+	t.KmKB += km * kb
+
+	s := &n.bySender[sender]
+	s.Messages++
+	s.KB += kb
+	s.Km += km
+	s.KmKB += km * kb
+}
+
+// Accounting materializes a snapshot of the traffic accounting so far. The
+// snapshot is an independent copy, safe to hold across further sends; for
+// copy-free reads on the hot path (the auditor's per-sweep conservation
+// checks) use View instead.
+func (n *Network) Accounting() Accounting {
+	out := newAccounting()
+	for c, t := range n.byClass {
+		if t.Messages != 0 {
+			out.ByClass[Class(c)] = t
+		}
+	}
+	for i, t := range n.bySender {
+		if t.Messages != 0 {
+			out.BySender[n.ids[i]] = t
+		}
+	}
+	return out
+}
+
+// View returns a copy-free read-only view over the live ledgers. The view
+// observes subsequent sends; it must not be read concurrently with them.
+func (n *Network) View() AccountingView { return AccountingView{n: n} }
 
 // ResetAccounting zeroes the traffic accounting (queue state is preserved).
-func (n *Network) ResetAccounting() { n.acct = newAccounting() }
+func (n *Network) ResetAccounting() {
+	for i := range n.byClass {
+		n.byClass[i] = ClassTotals{}
+	}
+	for i := range n.bySender {
+		n.bySender[i] = ClassTotals{}
+	}
+}
+
+// AccountingView is a read-only window onto a Network's live traffic
+// ledgers. Unlike Accounting it copies nothing: Total and Class sum in
+// place, and EachSender iterates the dense per-sender ledger in interning
+// (first-send) order — a deterministic order, since the simulation is
+// single-threaded. It implements the same reader shape Accounting does, so
+// the audit predicates accept either.
+type AccountingView struct{ n *Network }
+
+// Total sums all classes.
+func (v AccountingView) Total() ClassTotals {
+	var t ClassTotals
+	for _, c := range v.n.byClass {
+		t.Messages += c.Messages
+		t.KB += c.KB
+		t.Km += c.Km
+		t.KmKB += c.KmKB
+	}
+	return t
+}
+
+// Class returns the totals recorded for one message class.
+func (v AccountingView) Class(c Class) ClassTotals {
+	if int(c) < 0 || int(c) >= len(v.n.byClass) {
+		return ClassTotals{}
+	}
+	return v.n.byClass[c]
+}
+
+// Senders reports how many distinct endpoints have sent at least once.
+func (v AccountingView) Senders() int {
+	count := 0
+	for _, t := range v.n.bySender {
+		if t.Messages != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// EachSender calls fn for every endpoint that has sent at least one message,
+// in interning order, without copying the ledger.
+func (v AccountingView) EachSender(fn func(id string, t ClassTotals)) {
+	for i, t := range v.n.bySender {
+		if t.Messages != 0 {
+			fn(v.n.ids[i], t)
+		}
+	}
+}
 
 // ClassTotals aggregates traffic for one message class.
 type ClassTotals struct {
@@ -282,33 +445,6 @@ func newAccounting() Accounting {
 		ByClass:  make(map[Class]ClassTotals),
 		BySender: make(map[string]ClassTotals),
 	}
-}
-
-func (a *Accounting) record(class Class, sender string, km, kb float64) {
-	t := a.ByClass[class]
-	t.Messages++
-	t.KB += kb
-	t.Km += km
-	t.KmKB += km * kb
-	a.ByClass[class] = t
-
-	s := a.BySender[sender]
-	s.Messages++
-	s.KB += kb
-	s.Km += km
-	s.KmKB += km * kb
-	a.BySender[sender] = s
-}
-
-func (a Accounting) clone() Accounting {
-	out := newAccounting()
-	for k, v := range a.ByClass {
-		out.ByClass[k] = v
-	}
-	for k, v := range a.BySender {
-		out.BySender[k] = v
-	}
-	return out
 }
 
 // Total sums all classes.
@@ -342,4 +478,13 @@ func (a Accounting) Senders() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// EachSender calls fn for every sending endpoint in sorted-id order. It
+// mirrors AccountingView.EachSender so snapshots and live views satisfy the
+// same reader shape.
+func (a Accounting) EachSender(fn func(id string, t ClassTotals)) {
+	for _, id := range a.Senders() {
+		fn(id, a.BySender[id])
+	}
 }

@@ -4,10 +4,19 @@
 // CPU needed to execute event handlers. Events scheduled for the same
 // timestamp fire in scheduling (FIFO) order, which makes runs with the same
 // seed bit-for-bit reproducible.
+//
+// The event loop is the hot path of every figure in the paper, so the engine
+// is built to schedule and fire events without allocating: events are stored
+// by value in a manually-managed binary heap (no container/heap interface
+// boxing), cancellation is lazy through per-slot generation counters instead
+// of a live-event map, and the closure-free scheduling variants
+// (ScheduleAtFunc, ScheduleAtCall) let periodic loops run with zero
+// allocations per cycle. None of this changes observable behavior: events
+// fire in exactly the same (timestamp, scheduling-order) sequence as the
+// naive implementation, so pooling cannot perturb a deterministic run.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,48 +27,58 @@ import (
 // engine so it can schedule follow-up events.
 type Handler func(e *Engine)
 
-// event is a scheduled handler. seq breaks timestamp ties FIFO.
-type event struct {
-	at      time.Duration
-	seq     uint64
-	handler Handler
-	id      uint64
-	dead    bool
+// FuncHandler is the closure-free handler form: a static function (package
+// function or method expression) receiving an explicit receiver and one
+// packed integer argument. Scheduling one allocates nothing as long as recv
+// is pointer-shaped (a pointer, or a func value for ScheduleAtCall).
+type FuncHandler func(e *Engine, recv any, arg int64)
+
+// heapItem is one heap entry: the ordering key (at, seq) plus the slot
+// reference resolving to the event's handler. It deliberately contains no
+// pointers, so heap sift operations are barrier-free 24-byte moves.
+type heapItem struct {
+	at   time.Duration
+	seq  uint64
+	slot uint32
+	gen  uint32
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// payload holds a scheduled event's handler state, parked in the slot table
+// (not the heap) so it is written once at schedule time and read once at
+// fire time, never copied by sift operations. Exactly one of h and fn is
+// set.
+type payload struct {
+	h    Handler
+	fn   FuncHandler
+	recv any
+	arg  int64
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now     time.Duration
-	queue   eventQueue
-	nextSeq uint64
-	nextID  uint64
-	live    map[uint64]*event
+	now time.Duration
+	// queue is a binary min-heap of (at, seq, slot) keys ordered by
+	// (at, seq), managed manually so pushes and pops never box events into
+	// interfaces.
+	queue []heapItem
+	// seq is the single monotonic counter: it orders same-timestamp events
+	// FIFO and makes the heap comparator a total order (so the pop sequence
+	// is independent of internal heap layout, including after compaction).
+	seq uint64
+	// slotGen and payloads hold the current generation and handler of every
+	// event slot. A Timer packs (slot, generation); firing or cancelling
+	// bumps the slot's generation, which simultaneously invalidates the
+	// Timer and turns any heap entry still referencing it into a tombstone.
+	// Slots are recycled through freeSlots, so steady-state scheduling
+	// allocates nothing.
+	slotGen   []uint32
+	payloads  []payload
+	freeSlots []uint32
+	// live counts scheduled-but-not-yet-fired-or-cancelled events (Pending
+	// stays O(1)); dead counts tombstones still sitting in the heap.
+	dead    int
+	live    int
 	rng     *rand.Rand
 	stopped bool
 
@@ -98,8 +117,7 @@ func (e *Engine) SetTick(stride uint64, fn func(e *Engine) error) {
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		live: make(map[uint64]*event),
-		rng:  rand.New(rand.NewSource(seed)),
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -120,21 +138,103 @@ func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
 // ErrEventLimit is returned by Run when the configured event cap is hit.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
-// Timer identifies a scheduled event so it can be cancelled.
+// Timer identifies a scheduled event so it can be cancelled. It packs the
+// event's slot and the slot's generation at scheduling time; either firing
+// or cancelling bumps the generation, so a stale Timer can never cancel the
+// slot's next occupant. (A single slot would have to fire 2^32 times for a
+// held Timer to alias a later generation — beyond any run the 200M-event cap
+// admits.)
 type Timer uint64
+
+func makeTimer(slot, gen uint32) Timer {
+	return Timer(uint64(slot)<<32 | uint64(gen))
+}
+
+// less orders the heap by (at, seq); seq is unique, so this is a total order.
+func (e *Engine) less(i, j int) bool {
+	if e.queue[i].at != e.queue[j].at {
+		return e.queue[i].at < e.queue[j].at
+	}
+	return e.queue[i].seq < e.queue[j].seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			return
+		}
+		e.queue[i], e.queue[m] = e.queue[m], e.queue[i]
+		i = m
+	}
+}
+
+// popTop removes queue[0].
+func (e *Engine) popTop() {
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+// schedule parks p in a recycled slot and inserts its (at, seq, slot) key
+// into the heap.
+func (e *Engine) schedule(at time.Duration, p payload) (Timer, error) {
+	if at < e.now {
+		return 0, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	e.seq++
+	var slot uint32
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		slot = uint32(len(e.slotGen))
+		// Generations start at 1 so a zero Timer is never valid.
+		e.slotGen = append(e.slotGen, 1)
+		e.payloads = append(e.payloads, payload{})
+	}
+	e.payloads[slot] = p
+	e.queue = append(e.queue, heapItem{at: at, seq: e.seq, slot: slot, gen: e.slotGen[slot]})
+	e.siftUp(len(e.queue) - 1)
+	e.live++
+	return makeTimer(slot, e.slotGen[slot]), nil
+}
+
+// retire invalidates a fired or cancelled event's slot, releases its
+// payload's references, and recycles the slot.
+func (e *Engine) retire(slot uint32) {
+	e.slotGen[slot]++
+	e.payloads[slot] = payload{}
+	e.freeSlots = append(e.freeSlots, slot)
+	e.live--
+}
 
 // ScheduleAt schedules h to run at absolute virtual time at. Scheduling in
 // the past (before Now) is an error that would break causality.
 func (e *Engine) ScheduleAt(at time.Duration, h Handler) (Timer, error) {
-	if at < e.now {
-		return 0, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
-	}
-	e.nextSeq++
-	e.nextID++
-	ev := &event{at: at, seq: e.nextSeq, handler: h, id: e.nextID}
-	heap.Push(&e.queue, ev)
-	e.live[ev.id] = ev
-	return Timer(ev.id), nil
+	return e.schedule(at, payload{h: h})
 }
 
 // ScheduleAfter schedules h to run d after the current virtual time.
@@ -147,23 +247,86 @@ func (e *Engine) ScheduleAfter(d time.Duration, h Handler) Timer {
 	return t
 }
 
+// ScheduleAtFunc schedules fn(e, recv, arg) at absolute virtual time at.
+// It is the zero-allocation variant of ScheduleAt: fn is a static function
+// (or method expression), recv carries the state a closure would capture,
+// and arg packs any small integers the handler needs. When recv is a pointer
+// the call allocates nothing.
+func (e *Engine) ScheduleAtFunc(at time.Duration, fn FuncHandler, recv any, arg int64) (Timer, error) {
+	return e.schedule(at, payload{fn: fn, recv: recv, arg: arg})
+}
+
+// ScheduleAfterFunc schedules fn(e, recv, arg) to run d after the current
+// virtual time; a negative d is clamped to zero. See ScheduleAtFunc.
+func (e *Engine) ScheduleAfterFunc(d time.Duration, fn FuncHandler, recv any, arg int64) Timer {
+	if d < 0 {
+		d = 0
+	}
+	t, _ := e.ScheduleAtFunc(e.now+d, fn, recv, arg) // never in the past
+	return t
+}
+
+// callThunk adapts a plain func() stored as the receiver. Func values are
+// pointer-shaped, so storing one in recv does not allocate.
+func callThunk(_ *Engine, recv any, _ int64) { recv.(func())() }
+
+// ScheduleAtCall schedules f() at absolute virtual time at, without the
+// wrapper-closure allocation ScheduleAt(at, func(*Engine){ f() }) would pay.
+// f itself may of course be a closure; only the engine side is free.
+func (e *Engine) ScheduleAtCall(at time.Duration, f func()) (Timer, error) {
+	return e.schedule(at, payload{fn: callThunk, recv: f})
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op and reports false.
+// The cancelled event stays in the heap as a tombstone and is skipped (or
+// compacted away) lazily, so Cancel is O(1).
 func (e *Engine) Cancel(t Timer) bool {
-	ev, ok := e.live[uint64(t)]
-	if !ok {
+	slot := uint32(uint64(t) >> 32)
+	gen := uint32(uint64(t))
+	if int(slot) >= len(e.slotGen) || e.slotGen[slot] != gen {
 		return false
 	}
-	ev.dead = true
-	delete(e.live, uint64(t))
+	e.retire(slot)
+	e.dead++
+	e.maybeCompact()
 	return true
+}
+
+// compactMinQueue is the heap size below which compaction is never worth it.
+const compactMinQueue = 64
+
+// maybeCompact rebuilds the heap without its tombstones once they make up
+// more than half of it, so unbounded cancel/reschedule churn (a long-horizon
+// Every loop being cancelled and re-armed repeatedly) cannot grow memory
+// without bound. The comparator is a total order, so rebuilding cannot
+// change the pop sequence.
+func (e *Engine) maybeCompact() {
+	if len(e.queue) < compactMinQueue || e.dead*2 <= len(e.queue) {
+		return
+	}
+	kept := e.queue[:0]
+	for _, it := range e.queue {
+		if e.slotGen[it.slot] == it.gen {
+			kept = append(kept, it)
+		}
+	}
+	e.queue = kept
+	e.dead = 0
+	for i := len(e.queue)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Stop makes Run return after the current handler completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of live (not cancelled) scheduled events.
-func (e *Engine) Pending() int { return len(e.live) }
+func (e *Engine) Pending() int { return e.live }
+
+// queueLen reports the heap's physical size including tombstones; tests use
+// it to assert that cancel churn stays bounded.
+func (e *Engine) queueLen() int { return len(e.queue) }
 
 // Run executes events in timestamp order until the queue drains, the horizon
 // is passed, Stop is called, or the event cap is hit. A horizon of 0 means
@@ -172,20 +335,24 @@ func (e *Engine) Pending() int { return len(e.live) }
 func (e *Engine) Run(horizon time.Duration) error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.dead {
-			heap.Pop(&e.queue)
+		top := &e.queue[0]
+		if e.slotGen[top.slot] != top.gen {
+			// Tombstone of a cancelled event: discard and move on.
+			e.popTop()
+			e.dead--
 			continue
 		}
-		if horizon > 0 && ev.at > horizon {
+		if horizon > 0 && top.at > horizon {
 			// Advance the clock to the horizon so callers observe a
 			// consistent end time.
 			e.now = horizon
 			return nil
 		}
-		heap.Pop(&e.queue)
-		delete(e.live, ev.id)
-		e.now = ev.at
+		it := *top // copy out: the handler may grow or reorder the heap
+		p := e.payloads[it.slot]
+		e.popTop()
+		e.retire(it.slot)
+		e.now = it.at
 		e.processed++
 		if e.maxEvents > 0 && e.processed > e.maxEvents {
 			return ErrEventLimit
@@ -195,7 +362,11 @@ func (e *Engine) Run(horizon time.Duration) error {
 				return err
 			}
 		}
-		ev.handler(e)
+		if p.h != nil {
+			p.h(e)
+		} else {
+			p.fn(e, p.recv, p.arg)
+		}
 	}
 	if horizon > 0 && e.now < horizon {
 		e.now = horizon
@@ -204,7 +375,9 @@ func (e *Engine) Run(horizon time.Duration) error {
 }
 
 // Every schedules h to run now+d, then every d thereafter, until the
-// returned stop function is called. The period must be positive.
+// returned stop function is called. The period must be positive. The loop
+// re-arms through the engine's recycled event storage, so a long-running
+// periodic loop allocates only its one closure up front.
 func (e *Engine) Every(d time.Duration, h Handler) (stop func(), err error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("sim: non-positive period %v", d)

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// nopEvent is a static FuncHandler; scheduling it must not allocate.
+func nopEvent(*Engine, any, int64) {}
+
+// TestSteadyStateScheduleRunAllocFree pins the engine's core guarantee: once
+// the slot table and heap have warmed up, a schedule+fire cycle allocates
+// nothing — for both the Handler form (with a pre-built func value) and the
+// closure-free FuncHandler form.
+func TestSteadyStateScheduleRunAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	var h Handler = func(*Engine) {}
+	// Warm up: grow the heap, slot table, and free list to steady state.
+	for i := 0; i < 128; i++ {
+		e.ScheduleAfter(time.Duration(i), h)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		e.ScheduleAfter(time.Microsecond, h)
+		e.ScheduleAfterFunc(time.Microsecond, nopEvent, e, 7)
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule+run costs %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCancelAllocFree pins Cancel's O(1), allocation-free path.
+func TestCancelAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 128; i++ {
+		e.ScheduleAfterFunc(time.Duration(i), nopEvent, e, 0)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		tm := e.ScheduleAfterFunc(time.Hour, nopEvent, e, 0)
+		if !e.Cancel(tm) {
+			t.Fatal("cancel of a live timer failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel costs %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCancelChurnBoundsQueue is the regression test for unbounded dead-event
+// retention: scheduling and immediately cancelling events over and over must
+// not grow the heap, because compaction strips tombstones once they dominate.
+// (Before lazy-cancellation compaction, each round left its tombstones in the
+// heap until Run drained past them, so maxQ here grew to rounds*batch.)
+func TestCancelChurnBoundsQueue(t *testing.T) {
+	e := NewEngine(1)
+	const rounds, batch = 2000, 10
+	var timers [batch]Timer
+	maxQ := 0
+	for round := 0; round < rounds; round++ {
+		for i := range timers {
+			timers[i] = e.ScheduleAfterFunc(time.Hour, nopEvent, e, 0)
+		}
+		for _, tm := range timers {
+			e.Cancel(tm)
+		}
+		if q := e.queueLen(); q > maxQ {
+			maxQ = q
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancelling everything, want 0", e.Pending())
+	}
+	// Live events never exceed batch; the physical queue may additionally
+	// hold up to ~compactMinQueue+batch tombstones between compactions.
+	if limit := 2*compactMinQueue + batch; maxQ > limit {
+		t.Fatalf("queue grew to %d under cancel churn (limit %d): tombstones are being retained", maxQ, limit)
+	}
+}
+
+// TestEveryCancelChurnBoundsQueue exercises the same property through the
+// public periodic API: a driver loop that stops its Every ticker and starts
+// a fresh one on each firing, thousands of times, must keep the heap small.
+func TestEveryCancelChurnBoundsQueue(t *testing.T) {
+	e := NewEngine(1)
+	const cycles = 5000
+	var (
+		stop  func()
+		fired int
+		maxQ  int
+	)
+	rearm := func(en *Engine) {
+		fired++
+		stop()
+		if q := en.queueLen(); q > maxQ {
+			maxQ = q
+		}
+		var err error
+		stop, err = en.Every(time.Hour, func(*Engine) {}) // never fires within the horizon
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	stop, err = e.Every(time.Hour, func(*Engine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drive Handler
+	drive = func(en *Engine) {
+		rearm(en)
+		if fired < cycles {
+			en.ScheduleAfter(time.Second, drive)
+		}
+	}
+	e.ScheduleAfter(time.Second, drive)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != cycles {
+		t.Fatalf("driver fired %d times, want %d", fired, cycles)
+	}
+	if limit := 2 * compactMinQueue; maxQ > limit {
+		t.Fatalf("queue grew to %d under Every+Cancel churn (limit %d)", maxQ, limit)
+	}
+}
+
+// BenchmarkEngineScheduleFire measures the steady-state cost of one
+// closure-free schedule+fire cycle. The CI bench gate tracks it.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfterFunc(time.Microsecond, nopEvent, e, int64(i))
+		if err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEveryCancelChurn measures arming, briefly running, and
+// stopping a periodic loop — the pattern the pull/heartbeat/audit loops
+// produce under failover churn.
+func BenchmarkEngineEveryCancelChurn(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	tick := func(*Engine) { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop, err := e.Every(time.Second, tick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(e.Now() + 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		stop()
+	}
+	if n == 0 {
+		b.Fatal("ticker never fired")
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark snapshots (`make bench`):
+#
+#   1. run the Go benchmark suite (root figure benchmarks plus the
+#      internal engine/netmodel micro-benchmarks) with -benchmem,
+#   2. aggregate repeated -count runs into per-benchmark medians via
+#      cmd/benchjson,
+#   3. write the result as BENCH_<n>.json at the next free index (or to
+#      the path given as $1),
+#   4. if a committed baseline exists, print an informational comparison.
+#
+# Environment knobs:
+#
+#   BENCH_PATTERN      -bench regexp            (default: .)
+#   BENCH_TIME         -benchtime               (default: 1x)
+#   BENCH_COUNT        -count, medians taken    (default: 3)
+#   BENCH_NOTE         free-form note stored in the JSON
+#   BENCH_BASELINE     file to diff against     (default: newest BENCH_*.json
+#                      before the one being written)
+#   BENCH_STRICT=1     fail on >20% regression against the baseline
+#                      (CI sets this; locally the diff is informational)
+#
+# allocs/op and B/op are deterministic for this suite, so they compare
+# exactly across machines; ns/op is machine- and load-dependent.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-.}"
+BENCHTIME="${BENCH_TIME:-1x}"
+COUNT="${BENCH_COUNT:-3}"
+NOTE="${BENCH_NOTE:-}"
+
+OUT="${1:-}"
+if [[ -z "$OUT" ]]; then
+    n=0
+    while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+    OUT="BENCH_${n}.json"
+fi
+
+BASELINE="${BENCH_BASELINE:-}"
+if [[ -z "$BASELINE" ]]; then
+    for f in $(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+        [[ "$f" == "$OUT" ]] && continue
+        BASELINE="$f"
+    done
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/benchjson" ./cmd/benchjson
+
+echo "bench: go test -bench '$PATTERN' -benchtime $BENCHTIME -count $COUNT (medians across runs)"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./... \
+    | tee "$TMP/bench.txt"
+
+"$TMP/benchjson" -note "$NOTE" -out "$OUT" <"$TMP/bench.txt"
+echo "bench: wrote $OUT"
+
+if [[ -n "$BASELINE" && -e "$BASELINE" ]]; then
+    echo "bench: comparing against $BASELINE"
+    if [[ "${BENCH_STRICT:-0}" == "1" ]]; then
+        "$TMP/benchjson" -compare "$BASELINE,$OUT" -max-regress "${BENCH_MAX_REGRESS:-0.20}" ${BENCH_GUARD:+-guard "$BENCH_GUARD"}
+    else
+        "$TMP/benchjson" -compare "$BASELINE,$OUT" -max-regress "${BENCH_MAX_REGRESS:-0.20}" ${BENCH_GUARD:+-guard "$BENCH_GUARD"} \
+            || echo "bench: regression vs $BASELINE (informational; set BENCH_STRICT=1 to fail)"
+    fi
+fi
