@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover
 
 check: build vet race
 
@@ -28,9 +28,9 @@ bench:
 # compared strictly (>20% ns/op or allocs/op fails) against the newest
 # committed BENCH_<n>.json.
 bench-smoke:
-	BENCH_PATTERN='Fig19$$|Fig20$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
+	BENCH_PATTERN='Fig19$$|Fig20$$|ExtScale$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
 	BENCH_TIME=2x BENCH_COUNT=3 BENCH_STRICT=1 \
-	BENCH_GUARD='Fig19,Fig20' \
+	BENCH_GUARD='Fig19,Fig20,ExtScale' \
 	./scripts/bench.sh $(CURDIR)/.bench-smoke.json
 	rm -f $(CURDIR)/.bench-smoke.json
 
@@ -52,8 +52,15 @@ experiments:
 audit-smoke:
 	./scripts/audit_smoke.sh
 
-# Short fuzz smoke over the tree fail/recover repair and the fault-scenario
-# compiler (one -fuzz pattern per package run, as go test requires).
+# Short fuzz smoke over the tree fail/recover repair, the fault-scenario
+# compiler, and the population-spec parser (one -fuzz pattern per package
+# run, as go test requires).
 fuzz:
 	$(GO) test ./internal/overlay -run '^$$' -fuzz FuzzTreeFailRecover -fuzztime 10s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzCompile -fuzztime 10s
+	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParsePopulation -fuzztime 10s
+
+# Coverage ratchet: per-package line-coverage floors on the packages the
+# cohort user model touches. See scripts/coverage.sh for the floor table.
+cover:
+	./scripts/coverage.sh

@@ -6,6 +6,7 @@ package cdnconsistency_test
 // binary produces the full-scale tables recorded in EXPERIMENTS.md.
 
 import (
+	"io"
 	"runtime"
 	"strconv"
 	"strings"
@@ -129,6 +130,18 @@ func BenchmarkExtLease(b *testing.B)       { benchSimFig(b, figures.ExtLease) }
 func BenchmarkExtDNS(b *testing.B)         { benchSimFig(b, figures.ExtDNS) }
 func BenchmarkExtRegime(b *testing.B)      { benchSimFig(b, figures.ExtRegime) }
 func BenchmarkExtCatalog(b *testing.B)     { benchSimFig(b, figures.ExtCatalog) }
+
+// BenchmarkExtScale is the cohort-model scalability guard: it runs the
+// reduced ext-scale sweep (10^3 and 10^4 users over 30 servers, four
+// protocols) and its allocs/op budget in the benchjson regression set holds
+// the cohort visit path to its fixed-memory claim end to end. The perf
+// report is silenced: `go test` interleaves the binary's stderr into stdout,
+// which would split the benchmark result line the bench parser reads.
+func BenchmarkExtScale(b *testing.B) {
+	defer func(w io.Writer) { figures.ExtScalePerfOutput = w }(figures.ExtScalePerfOutput)
+	figures.ExtScalePerfOutput = io.Discard
+	benchSimFigTiny(b, figures.ExtScale)
+}
 
 // Serial vs parallel fan-out of a sweep-heavy figure through the worker
 // pool. Compare these two to see the wall-clock speedup on multicore

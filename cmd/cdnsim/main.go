@@ -34,6 +34,7 @@ import (
 	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/stats"
+	"cdnconsistency/internal/workload"
 )
 
 func main() {
@@ -59,6 +60,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		clusters  = fs.Int("clusters", 20, "hybrid cluster count")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		switching = fs.Bool("switch", false, "users switch servers every visit (Figure 24 scenario)")
+		usermodel = fs.String("usermodel", "explicit", "end-user model: explicit (one actor per user) or cohort (weighted per-server cohorts; scales to millions of users)")
+		popFile   = fs.String("population", "", "@file.json population spec (see workload.Population); default for -usermodel cohort: a heavy-tailed draw of servers*users total users")
+		cohorts   = fs.Int("cohorts", 8, "cohorts per server for the generated population")
 		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
 		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
@@ -105,6 +109,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 	}
 	if *switching {
 		opts = append(opts, core.WithUserSwitching())
+	}
+	pop, err := resolvePopulation(*usermodel, *popFile, *servers, *users, *cohorts, *userTTL, *seed)
+	if err != nil {
+		return err
+	}
+	if pop != nil {
+		opts = append(opts, core.WithPopulation(pop))
+	}
+	if *usermodel != "" {
+		opts = append(opts, core.WithUserModel(*usermodel))
 	}
 	if *faults != "" {
 		spec, err := resolveFaults(*faults)
@@ -165,6 +179,35 @@ func resolveSystem(system, method, infra string) (core.System, error) {
 		return core.System{}, fmt.Errorf("unknown infra %q", infra)
 	}
 	return core.System{Name: method + "/" + infra, Method: m, Infra: inf}, nil
+}
+
+// resolvePopulation maps the -population/-usermodel flags to a population
+// spec: "@path" loads a JSON spec file; an empty -population under the
+// cohort model draws a heavy-tailed population matching -servers and -users
+// in total.
+func resolvePopulation(usermodel, popFile string, servers, users, cohorts int, userTTL time.Duration, seed int64) (*workload.Population, error) {
+	if popFile != "" {
+		path, ok := strings.CutPrefix(popFile, "@")
+		if !ok {
+			return nil, fmt.Errorf("-population wants @file.json, got %q", popFile)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ParsePopulation(data)
+	}
+	if usermodel != cdn.UserModelCohort {
+		return nil, nil
+	}
+	return workload.GeneratePopulation(workload.PopulationConfig{
+		Servers:          servers,
+		TotalUsers:       servers * users,
+		Alpha:            1.2,
+		CohortsPerServer: cohorts,
+		Period:           userTTL,
+		Seed:             seed,
+	})
 }
 
 // resolveFaults maps the -faults flag to a spec: "@path" loads a JSON

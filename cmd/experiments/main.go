@@ -242,6 +242,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		simJob("ext-catalog", figures.ExtCatalog),
 		simJob("ext-faults", figures.ExtFaults),
 		simJob("ext-failover", figures.ExtFailover),
+		simJob("ext-scale", figures.ExtScale),
 		simJob("ablation-queue", figures.AblationQueue),
 		simJob("ablation-proximity", figures.AblationProximity),
 		simJob("ablation-adaptive", figures.AblationAdaptive),

@@ -6,6 +6,7 @@ import (
 
 	"cdnconsistency/internal/audit"
 	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/netmodel"
 )
 
 // AuditOptions configures the runtime invariant auditor. The auditor rides
@@ -191,6 +192,9 @@ func (a *auditor) check() *audit.Violation {
 	if v := a.checkDelivery(); v != nil {
 		return v
 	}
+	if v := a.checkVisitTraffic(); v != nil {
+		return v
+	}
 	// The copy-free view keeps the per-sweep conservation check from cloning
 	// the whole per-sender ledger every cadence.
 	return audit.CheckAccounting(s.net.View())
@@ -246,16 +250,28 @@ func (a *auditor) checkNodes() *audit.Violation {
 	return nil
 }
 
+// checkUsers delegates to the user model's own invariants: per-user
+// accounting sanity under the explicit model, plus population conservation
+// (Σ cohort counts constant across churn and re-homing) and home bounds
+// under the cohort model.
 func (a *auditor) checkUsers() *audit.Violation {
-	for _, u := range a.s.users {
-		if v := audit.CheckCount(fmt.Sprintf("user %d inconsistent observations", u.idx),
-			u.inconsistent, u.observations); v != nil {
-			return v
-		}
-		if v := audit.CheckSeries(fmt.Sprintf("user %d catchupSum", u.idx), []float64{u.catchupSum}); v != nil {
-			v.Server = -1
-			return v
-		}
+	return a.s.um.audit()
+}
+
+// checkVisitTraffic cross-checks the batched visit accounting against the
+// traffic ledger: under AccountVisits, every booked request is a
+// content-class message and nothing else emits content-class traffic, so the
+// ledger's content count must equal the independent visitsAccounted counter
+// exactly — a batch lost (or double-booked) on the way into the ledger is a
+// conservation violation.
+func (a *auditor) checkVisitTraffic() *audit.Violation {
+	s := a.s
+	if !s.cfg.AccountVisits {
+		return nil
+	}
+	if got := s.net.View().Class(netmodel.ClassContent).Messages; got != s.visitsAccounted {
+		return violationAt("visit-traffic-conservation", -1,
+			"ledger holds %d content messages for %d accounted visits", got, s.visitsAccounted)
 	}
 	return nil
 }
@@ -279,6 +295,10 @@ func (a *auditor) counterView() map[string]int {
 		"dnsRedirects":           s.dnsRedirects,
 		"deliverAttempts":        s.deliverAttempts,
 		"deliverSends":           s.deliverSends,
+		"visitsAccounted":        s.visitsAccounted,
+		// The modeled population is constant, so the monotone-counter check
+		// doubles as a second population-conservation signal.
+		"modeledUsers": s.um.totalUsers(),
 	}
 }
 

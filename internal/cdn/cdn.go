@@ -60,6 +60,33 @@ type Config struct {
 	// (the Figure 24 scenario).
 	UserSwitchEveryVisit bool
 
+	// UserModel selects how end-users are simulated: UserModelExplicit
+	// (default) gives every user its own actor and visit loop, the paper's
+	// Section 4 setup; UserModelCohort simulates the population as weighted
+	// per-server cohorts — one visit event per cohort per period with exact
+	// aggregate accounting — so memory and event volume scale with cohorts,
+	// not users. The cohort model requires Population and is incompatible
+	// with the per-user routing scenarios (UseDNSRouting,
+	// UserSwitchEveryVisit), whose per-visit randomness is inherently
+	// per-user.
+	UserModel string
+
+	// Population optionally pins the user population to weighted per-server
+	// cohorts (counts, start offsets, periods; see workload.Population).
+	// Under the explicit model it is expanded to one actor per member with
+	// the cohort's deterministic offset; under the cohort model it is
+	// simulated in aggregate. Both draw no engine randomness for user
+	// scheduling, so the two models run identical event streams — the
+	// equivalence the cohort test suite locks down. Nil keeps the topology's
+	// per-server user count with random start offsets (the paper setup).
+	Population *workload.Population
+
+	// AccountVisits books every end-user request as a zero-distance
+	// content-class message against the serving server in the traffic
+	// ledger (batched per cohort under the cohort model). Off by default:
+	// the paper's traffic figures count only update and control traffic.
+	AccountVisits bool
+
 	// UseDNSRouting routes each visit through a modeled local DNS
 	// resolver (Figure 1): the resolver caches the server assignment for
 	// ResolverTTL, and expired entries re-resolve at the authoritative
@@ -196,6 +223,28 @@ func (c Config) withDefaults() (Config, error) {
 	if c.UseDNSRouting && c.UserSwitchEveryVisit {
 		return c, fmt.Errorf("cdn: UseDNSRouting and UserSwitchEveryVisit are mutually exclusive")
 	}
+	switch c.UserModel {
+	case "":
+		c.UserModel = UserModelExplicit
+	case UserModelExplicit:
+	case UserModelCohort:
+		if c.Population == nil {
+			return c, fmt.Errorf("cdn: UserModelCohort requires a Population")
+		}
+		if c.UseDNSRouting || c.UserSwitchEveryVisit {
+			return c, fmt.Errorf("cdn: UserModelCohort is incompatible with per-visit user routing (UseDNSRouting/UserSwitchEveryVisit)")
+		}
+	default:
+		return c, fmt.Errorf("cdn: unknown user model %q (want %q or %q)", c.UserModel, UserModelExplicit, UserModelCohort)
+	}
+	if c.Population != nil {
+		if err := c.Population.Validate(); err != nil {
+			return c, fmt.Errorf("cdn: %w", err)
+		}
+		if c.UseDNSRouting {
+			return c, fmt.Errorf("cdn: Population pins users to servers; incompatible with UseDNSRouting")
+		}
+	}
 	if c.FailServers < 0 {
 		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
 	}
@@ -233,8 +282,14 @@ type Result struct {
 	// seconds (Figures 14(a), 15(a), 19, 20).
 	ServerAvgInconsistency []float64
 	// UserAvgInconsistency is each user's mean catch-up delay in seconds
-	// (Figures 14(b), 15(b)).
+	// (Figures 14(b), 15(b)). Under the cohort model each entry is one
+	// stratum of identical users; see UserWeights.
 	UserAvgInconsistency []float64
+	// UserWeights gives the user count behind each UserAvgInconsistency
+	// entry under the cohort model (so a million-user run does not
+	// materialize a million entries). Nil under the explicit model: every
+	// entry is one user.
+	UserWeights []int
 	// Accounting is the traffic breakdown (Figures 16, 17, 18(b), 23).
 	Accounting netmodel.Accounting
 	// UpdateMsgsToServers counts update-class messages delivered to
@@ -305,8 +360,26 @@ type Result struct {
 // MeanServerInconsistency averages the per-server means.
 func (r *Result) MeanServerInconsistency() float64 { return mean(r.ServerAvgInconsistency) }
 
-// MeanUserInconsistency averages the per-user means.
-func (r *Result) MeanUserInconsistency() float64 { return mean(r.UserAvgInconsistency) }
+// MeanUserInconsistency averages the per-user means, weighting each entry by
+// the user count behind it (one, unless UserWeights says otherwise).
+func (r *Result) MeanUserInconsistency() float64 {
+	if r.UserWeights == nil {
+		return mean(r.UserAvgInconsistency)
+	}
+	var sum, n float64
+	for i, x := range r.UserAvgInconsistency {
+		w := 1.0
+		if i < len(r.UserWeights) {
+			w = float64(r.UserWeights[i])
+		}
+		sum += x * w
+		n += w
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
 
 // InconsistentObservationFrac is the Figure 24 metric.
 func (r *Result) InconsistentObservationFrac() float64 {

@@ -83,25 +83,6 @@ type node struct {
 	leases        map[int]time.Duration
 }
 
-// user is one simulated end-user.
-type user struct {
-	idx     int
-	homeSrv int // node index of the home server
-	maxSeen int
-	// loc is the user's location, used to re-home after a failed visit.
-	loc geo.Point
-	// resolver routes visits when DNS routing is on; lastServer tracks
-	// redirections.
-	resolver   *dns.Resolver
-	lastServer int
-	// catch-up accounting mirrors the server metric at visit granularity.
-	catchupSum float64
-	catchupN   int
-	// Figure 24 accounting.
-	observations int
-	inconsistent int
-}
-
 type simulation struct {
 	cfg  Config
 	eng  *sim.Engine
@@ -110,7 +91,9 @@ type simulation struct {
 	tree *overlay.Tree
 
 	nodes []*node
-	users []*user
+	// um is the end-user population model (explicit actors or weighted
+	// cohorts); see usermodel.go.
+	um userModel
 
 	// locs and alive support multicast tree repair after failures.
 	locs  []geo.Point
@@ -149,6 +132,10 @@ type simulation struct {
 	serverReparents   int
 	ttlFallbacks      int
 	staleObservations int
+	// visitsAccounted counts the end-user requests booked into the traffic
+	// ledger under AccountVisits, independently of the ledger itself; the
+	// auditor cross-checks the two.
+	visitsAccounted int
 
 	// Delivery conservation ledger: every deliver call is an attempt, and
 	// either enters the network (a send) or is dropped with a recorded
@@ -234,6 +221,15 @@ func newSimulation(cfg Config) (*simulation, error) {
 	}
 	last := cfg.Updates[len(cfg.Updates)-1].At
 	s.horizon = cfg.StartDelay + last + cfg.HorizonSlack
+
+	if cfg.Population != nil && len(cfg.Population.Servers) != len(topo.Servers) {
+		return nil, fmt.Errorf("cdn: population spans %d servers, topology has %d",
+			len(cfg.Population.Servers), len(topo.Servers))
+	}
+	s.um, err = newUserModel(s)
+	if err != nil {
+		return nil, err
+	}
 
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		isps := make([]int, len(topo.Servers))
@@ -449,7 +445,9 @@ func (s *simulation) run() (*Result, error) {
 	if err := s.scheduleServerLoops(); err != nil {
 		return nil, err
 	}
-	s.scheduleUsers()
+	if err := s.um.schedule(); err != nil {
+		return nil, err
+	}
 	s.scheduleFailures()
 	s.scheduleFaults()
 	if s.cfg.Audit != nil {
@@ -530,15 +528,7 @@ func (s *simulation) run() (*Result, error) {
 			res.LiveServersAtFinalVersion++
 		}
 	}
-	for _, u := range s.users {
-		avg := 0.0
-		if u.catchupN > 0 {
-			avg = u.catchupSum / float64(u.catchupN)
-		}
-		res.UserAvgInconsistency = append(res.UserAvgInconsistency, avg)
-		res.UserObservations += u.observations
-		res.UserInconsistentObservations += u.inconsistent
-	}
+	s.um.collect(res)
 	return res, nil
 }
 
@@ -931,12 +921,20 @@ func packNodeGen(i, gen int) int64 { return int64(i)<<32 | int64(uint32(gen)) }
 
 func unpackNodeGen(a int64) (i, gen int) { return int(a >> 32), int(uint32(a)) }
 
-// visitEvent is the closure-free user visit-loop handler; arg is the user's
-// index in s.users. The visit loop is the highest-volume periodic loop in
-// every TTL-family run, so its rescheduling must not allocate.
-func visitEvent(_ *sim.Engine, recv any, arg int64) {
-	s := recv.(*simulation)
-	s.visit(s.users[arg])
+// nearestLive returns the node index of the nearest live server to loc, or
+// -1 when every server is down. It backs user/cohort failover re-homing.
+func (s *simulation) nearestLive(loc geo.Point) int {
+	best, bestD := -1, 0.0
+	for i := 1; i < len(s.nodes); i++ {
+		if s.nodes[i].down {
+			continue
+		}
+		d := geo.DistanceKm(loc, s.locs[i])
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
 }
 
 // pollResumeEvent resumes a node's TTL poll loop unless the node crashed or

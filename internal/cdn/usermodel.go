@@ -1,0 +1,111 @@
+package cdn
+
+import (
+	"fmt"
+
+	"cdnconsistency/internal/audit"
+	"cdnconsistency/internal/netmodel"
+)
+
+// User-model selectors for Config.UserModel.
+const (
+	// UserModelExplicit simulates each end-user as an individual actor with
+	// its own visit loop — the paper's Section 4 setup, and the default.
+	UserModelExplicit = "explicit"
+	// UserModelCohort simulates the user population attached to each server
+	// as weighted cohorts: one visit event per cohort per period, with all
+	// per-user accounting carried in aggregate. Requires Config.Population.
+	UserModelCohort = "cohort"
+)
+
+// userModel is the seam between the simulation and its end-user population.
+// Both implementations drive the same server-side protocol machinery and the
+// same per-user accounting (userAgg), so for a shared Population the two are
+// event-for-event equivalent; the cohort model just batches users that are
+// interchangeable by construction.
+type userModel interface {
+	// schedule creates the model's users and arms their first visit events.
+	schedule() error
+	// collect appends the user-side metrics to the run's result.
+	collect(res *Result)
+	// audit verifies the model's accounting invariants; nil when they hold.
+	audit() *audit.Violation
+	// totalUsers reports the modeled population size.
+	totalUsers() int
+}
+
+// newUserModel instantiates the configured model. Config validation has
+// already normalized UserModel and checked the cohort preconditions.
+func newUserModel(s *simulation) (userModel, error) {
+	switch s.cfg.UserModel {
+	case "", UserModelExplicit:
+		return &explicitUsers{s: s}, nil
+	case UserModelCohort:
+		return &cohortUsers{s: s}, nil
+	default:
+		return nil, fmt.Errorf("cdn: unknown user model %q", s.cfg.UserModel)
+	}
+}
+
+// userAgg is the per-user accounting state, shared verbatim between the
+// explicit model (one per user) and the cohort model (one per stratum of
+// interchangeable users). Keeping one implementation of the observation
+// arithmetic is what makes the equivalence between the models exact rather
+// than approximate.
+type userAgg struct {
+	maxSeen int
+	// catch-up accounting mirrors the server metric at visit granularity.
+	catchupSum float64
+	catchupN   int
+	// Figure 24 accounting.
+	observations int
+	inconsistent int
+}
+
+// avg is the user's mean catch-up delay in seconds.
+func (a *userAgg) avg() float64 {
+	if a.catchupN == 0 {
+		return 0
+	}
+	return a.catchupSum / float64(a.catchupN)
+}
+
+// observeAgg records one observation of version v for each of weight
+// identical users sharing the accounting state: catch-up delays for newly
+// seen updates and the self-inconsistency counter (content older than
+// previously seen, the Figure 24 metric), plus the stale-serve counter
+// against the newest published snapshot. The per-user fields advance by one
+// observation (every represented user saw the same thing); the global
+// counters advance by weight.
+func (s *simulation) observeAgg(a *userAgg, weight, v int) {
+	a.observations++
+	if v < s.published {
+		s.staleObservations += weight
+	}
+	if v < a.maxSeen {
+		a.inconsistent++
+		return
+	}
+	if v > a.maxSeen {
+		now := s.eng.Now()
+		for id := a.maxSeen + 1; id <= v && id < len(s.publishAt); id++ {
+			if at := s.publishAt[id]; at > 0 && now >= at {
+				a.catchupSum += (now - at).Seconds()
+				a.catchupN++
+			}
+		}
+		a.maxSeen = v
+	}
+}
+
+// accountVisits books weight end-user requests against the serving node's
+// endpoint in the traffic ledger (opt-in via Config.AccountVisits). The
+// independent visitsAccounted counter is the auditor's cross-check that no
+// batched request is lost on the way into the ledger.
+func (s *simulation) accountVisits(nd *node, weight int) {
+	if !s.cfg.AccountVisits {
+		return
+	}
+	s.net.Account(nd.ep, s.cfg.LightSizeKB, netmodel.ClassContent, weight)
+	s.visitsAccounted += weight
+}

@@ -1,39 +1,109 @@
 package cdn
 
 import (
+	"fmt"
 	"time"
 
+	"cdnconsistency/internal/audit"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/dns"
 	"cdnconsistency/internal/geo"
+	"cdnconsistency/internal/sim"
 )
 
-// scheduleUsers creates the end-users attached to each server and their
-// periodic visit loops. Users start at random offsets in [0, UserStartMax]
-// as in the paper's Section 4 setup. Under DNS routing each user owns a
-// local resolver; otherwise it is pinned to its home server (or switches
-// randomly per visit in the Figure 24 scenario).
-func (s *simulation) scheduleUsers() {
+// user is one simulated end-user of the explicit model.
+type user struct {
+	idx     int
+	homeSrv int // node index of the home server
+	// loc is the user's location, used to re-home after a failed visit.
+	loc geo.Point
+	// period is the user's visit period (Config.UserTTL unless a population
+	// cohort overrides it).
+	period time.Duration
+	// resolver routes visits when DNS routing is on; lastServer tracks
+	// redirections.
+	resolver   *dns.Resolver
+	lastServer int
+	agg        userAgg
+}
+
+// explicitUsers is the individual-actor user model: every user owns a visit
+// event, exactly the paper's Section 4 setup.
+type explicitUsers struct {
+	s     *simulation
+	users []*user
+}
+
+// schedule creates the end-users attached to each server and their periodic
+// visit loops. Without a Population, users come from the topology and start
+// at random offsets in [0, UserStartMax] as in the paper's Section 4 setup
+// (this path draws engine randomness exactly as it always has). With a
+// Population, users are expanded one per cohort member with the cohort's
+// deterministic offset and period, drawing no randomness — the same
+// schedule the cohort model runs in aggregate. Under DNS routing each user
+// owns a local resolver; otherwise it is pinned to its home server (or
+// switches randomly per visit in the Figure 24 scenario).
+func (m *explicitUsers) schedule() error {
+	s := m.s
+	if s.cfg.Population != nil {
+		for si, cohorts := range s.cfg.Population.Servers {
+			for _, spec := range cohorts {
+				period := spec.Period()
+				if period <= 0 {
+					period = s.cfg.UserTTL
+				}
+				for k := 0; k < spec.Count; k++ {
+					u := &user{
+						idx:        len(m.users),
+						homeSrv:    si + 1,
+						lastServer: -1,
+						loc:        s.locs[si+1],
+						period:     period,
+					}
+					m.users = append(m.users, u)
+					s.eng.ScheduleAfterFunc(spec.Offset(), visitEvent, m, int64(u.idx))
+				}
+			}
+		}
+		return nil
+	}
 	for si := range s.topo.Servers {
 		for ui := range s.topo.Users[si] {
-			u := &user{idx: len(s.users), homeSrv: si + 1, lastServer: -1, loc: s.topo.Users[si][ui].Loc}
+			u := &user{
+				idx:        len(m.users),
+				homeSrv:    si + 1,
+				lastServer: -1,
+				loc:        s.topo.Users[si][ui].Loc,
+				period:     s.cfg.UserTTL,
+			}
 			if s.cfg.UseDNSRouting {
 				resolver, err := dns.NewResolver(s.auth, s.topo.Users[si][ui].Loc, s.cfg.ResolverTTL)
 				if err == nil {
 					u.resolver = resolver
 				}
 			}
-			s.users = append(s.users, u)
+			m.users = append(m.users, u)
 			offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.UserStartMax)))
-			s.eng.ScheduleAfterFunc(offset, visitEvent, s, int64(u.idx))
+			s.eng.ScheduleAfterFunc(offset, visitEvent, m, int64(u.idx))
 		}
 	}
+	return nil
+}
+
+// visitEvent is the closure-free user visit-loop handler; arg is the user's
+// index. The visit loop is the highest-volume periodic loop in every
+// TTL-family run, so its rescheduling must not allocate.
+func visitEvent(_ *sim.Engine, recv any, arg int64) {
+	m := recv.(*explicitUsers)
+	m.visit(m.users[arg])
 }
 
 // visit performs one end-user request and reschedules the next.
-func (s *simulation) visit(u *user) {
-	target := s.routeVisit(u)
+func (m *explicitUsers) visit(u *user) {
+	s := m.s
+	target := m.routeVisit(u)
 	nd := s.nodes[target]
+	s.accountVisits(nd, 1)
 
 	switch {
 	case nd.down:
@@ -44,20 +114,20 @@ func (s *simulation) visit(u *user) {
 		// (Section 3.4.5). With Failover the user reacts immediately.
 		s.failedVisits++
 		if s.cfg.Failover {
-			s.failoverUser(u)
+			m.failoverUser(u)
 		}
 	case nd.auto != nil && nd.auto.OnVisit():
 		// First visit after an invalidation under the self-adaptive
 		// method: the server polls, switches back to TTL, and the user
 		// receives the fresh content when it lands.
 		s.selfAdaptiveVisitPoll(target, func() {
-			s.observe(u, s.nodes[target].version)
+			s.observeAgg(&u.agg, 1, s.nodes[target].version)
 		})
 	case s.cfg.Method == consistency.MethodInvalidation && !nd.valid:
 		// Invalidation: the visit triggers the fetch; the user waits
 		// for the refreshed content.
 		s.triggerFetch(target, func() {
-			s.observe(u, s.nodes[target].version)
+			s.observeAgg(&u.agg, 1, s.nodes[target].version)
 		})
 	case s.cfg.Method == consistency.MethodRegime:
 		if nd.rc != nil {
@@ -65,26 +135,27 @@ func (s *simulation) visit(u *user) {
 		}
 		if !nd.valid {
 			s.triggerFetch(target, func() {
-				s.observe(u, s.nodes[target].version)
+				s.observeAgg(&u.agg, 1, s.nodes[target].version)
 			})
 		} else {
-			s.observe(u, nd.version)
+			s.observeAgg(&u.agg, 1, nd.version)
 		}
 	case s.cfg.Method == consistency.MethodLease && !s.leaseValid(target):
 		// Cooperative lease expired: the visit renews it, and the user
 		// receives the refreshed content with the new lease.
 		s.renewLease(target, func() {
-			s.observe(u, s.nodes[target].version)
+			s.observeAgg(&u.agg, 1, s.nodes[target].version)
 		})
 	default:
-		s.observe(u, nd.version)
+		s.observeAgg(&u.agg, 1, nd.version)
 	}
 
-	s.eng.ScheduleAfterFunc(s.cfg.UserTTL, visitEvent, s, int64(u.idx))
+	s.eng.ScheduleAfterFunc(u.period, visitEvent, m, int64(u.idx))
 }
 
 // routeVisit picks the serving server for this visit.
-func (s *simulation) routeVisit(u *user) int {
+func (m *explicitUsers) routeVisit(u *user) int {
+	s := m.s
 	switch {
 	case u.resolver != nil:
 		target, _ := u.resolver.Lookup(s.eng.Now())
@@ -106,7 +177,8 @@ func (s *simulation) routeVisit(u *user) int {
 // (which skips dead servers); a pinned user re-homes to the nearest live
 // server — the DNS re-resolution a real client performs after connection
 // failures, collapsed into one step.
-func (s *simulation) failoverUser(u *user) {
+func (m *explicitUsers) failoverUser(u *user) {
+	s := m.s
 	if u.resolver != nil {
 		u.resolver.Flush()
 		s.userFailovers++
@@ -115,43 +187,32 @@ func (s *simulation) failoverUser(u *user) {
 	if s.cfg.UserSwitchEveryVisit {
 		return // the next visit picks a random server anyway
 	}
-	best, bestD := -1, 0.0
-	for i := 1; i < len(s.nodes); i++ {
-		if s.nodes[i].down {
-			continue
-		}
-		d := geo.DistanceKm(u.loc, s.locs[i])
-		if best == -1 || d < bestD {
-			best, bestD = i, d
-		}
-	}
-	if best > 0 {
+	if best := s.nearestLive(u.loc); best > 0 {
 		u.homeSrv = best
 		s.userFailovers++
 	}
 }
 
-// observe records what the user saw: catch-up delays for newly seen updates
-// and the self-inconsistency counter (content older than previously seen,
-// the Figure 24 metric), plus the stale-serve counter against the newest
-// published snapshot.
-func (s *simulation) observe(u *user, v int) {
-	u.observations++
-	if v < s.published {
-		s.staleObservations++
+func (m *explicitUsers) collect(res *Result) {
+	for _, u := range m.users {
+		res.UserAvgInconsistency = append(res.UserAvgInconsistency, u.agg.avg())
+		res.UserObservations += u.agg.observations
+		res.UserInconsistentObservations += u.agg.inconsistent
 	}
-	if v < u.maxSeen {
-		u.inconsistent++
-		return
-	}
-	if v > u.maxSeen {
-		now := s.eng.Now()
-		for id := u.maxSeen + 1; id <= v && id < len(s.publishAt); id++ {
-			if at := s.publishAt[id]; at > 0 && now >= at {
-				u.catchupSum += (now - at).Seconds()
-				u.catchupN++
-			}
+}
+
+func (m *explicitUsers) totalUsers() int { return len(m.users) }
+
+func (m *explicitUsers) audit() *audit.Violation {
+	for _, u := range m.users {
+		if v := audit.CheckCount(fmt.Sprintf("user %d inconsistent observations", u.idx),
+			u.agg.inconsistent, u.agg.observations); v != nil {
+			return v
 		}
-		u.maxSeen = v
+		if v := audit.CheckSeries(fmt.Sprintf("user %d catchupSum", u.idx), []float64{u.agg.catchupSum}); v != nil {
+			v.Server = -1
+			return v
+		}
 	}
+	return nil
 }

@@ -137,6 +137,27 @@ func WithUserSwitching() Option {
 	return func(c *cdn.Config) { c.UserSwitchEveryVisit = true }
 }
 
+// WithUserModel selects the end-user simulation model:
+// cdn.UserModelExplicit (one actor per user, the default) or
+// cdn.UserModelCohort (weighted per-server cohorts with exact aggregate
+// accounting; requires WithPopulation).
+func WithUserModel(model string) Option {
+	return func(c *cdn.Config) { c.UserModel = model }
+}
+
+// WithPopulation pins the user population to weighted per-server cohorts
+// (counts, start offsets, periods). Both user models honor it: explicit
+// expands it to individual actors, cohort simulates it in aggregate.
+func WithPopulation(p *workload.Population) Option {
+	return func(c *cdn.Config) { c.Population = p }
+}
+
+// WithVisitAccounting books every end-user request into the traffic ledger
+// as a zero-distance content-class message (batched under the cohort model).
+func WithVisitAccounting() Option {
+	return func(c *cdn.Config) { c.AccountVisits = true }
+}
+
 // WithTopology supplies a prebuilt topology shared across runs, keeping the
 // comparison matrix apples-to-apples.
 func WithTopology(t *topology.Topology) Option {

@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/workload"
+)
+
+// ExtScalePerfOutput receives ext-scale's machine-dependent throughput and
+// peak-RSS report (stderr by default, so the deterministic table on stdout
+// stays byte-identical). The benchmark harness points it at io.Discard:
+// `go test` merges the test binary's stderr into its stdout mid-line, which
+// would corrupt the benchmark result line the bench parser reads.
+var ExtScalePerfOutput io.Writer = os.Stderr
+
+// extScaleSystems are the four protocols the scalability sweep compares.
+var extScaleSystems = []core.System{
+	core.SystemTTL,
+	core.SystemInvalidation,
+	core.SystemPush,
+	core.SystemHAT,
+}
+
+// ExtScale sweeps the user population 10^4 -> 10^6 over the Section 5.3
+// deployment (Servers x 5 content servers, 850 at paper scale) under the
+// cohort user model, for TTL, Invalidation, Push, and HAT. Memory and event
+// volume stay fixed as users grow — state scales with cohorts, not users —
+// which is what moves the evaluation from the paper's 4,250 users to
+// production scale on one machine.
+//
+// The table reports only deterministic quantities (per-user inconsistency,
+// stale-serve fraction, batched request traffic), so output is byte-identical
+// between serial and parallel runs; wall-clock throughput (users/sec) and
+// peak RSS go to stderr.
+func ExtScale(scale SimScale) (*Table, error) {
+	s5 := scale.section5()
+	totals := []int{10_000, 100_000, 1_000_000}
+	cohortsPer := 16
+	if scale.Servers < 170 {
+		// Reduced sweep for tests and smoke runs.
+		totals = []int{1_000, 10_000}
+		cohortsPer = 4
+	}
+	t := &Table{
+		ID:     "ext-scale",
+		Title:  "cohort-model user scalability: population sweep at fixed memory",
+		Note:   "extension: ROADMAP north-star serves millions of users; per-server populations heavy-tailed as in anycast CDN measurements",
+		Header: []string{"users", "cohorts", "system", "user_mean_s", "stale_frac", "content_msgs"},
+	}
+
+	// One heavy-tailed population per sweep point, shared across the four
+	// systems so their comparison is apples-to-apples.
+	pops := make([]*workload.Population, len(totals))
+	for i, total := range totals {
+		p, err := workload.GeneratePopulation(workload.PopulationConfig{
+			Servers:          s5.Servers,
+			TotalUsers:       total,
+			Alpha:            1.2,
+			CohortsPerServer: cohortsPer,
+			SpreadMax:        50 * time.Second,
+			Seed:             s5.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-scale: %w", err)
+		}
+		pops[i] = p
+	}
+
+	type perf struct {
+		wall   time.Duration
+		visits int
+	}
+	perfs := make([]perf, len(totals)*len(extScaleSystems))
+	results, err := collectRuns(t, scale.Parallel, len(perfs), func(i int) (*cdn.Result, error) {
+		pi, si := i/len(extScaleSystems), i%len(extScaleSystems)
+		start := time.Now()
+		res, err := core.Run(extScaleSystems[si], s5.opts(
+			core.WithPopulation(pops[pi]),
+			core.WithUserModel(cdn.UserModelCohort),
+			core.WithVisitAccounting(),
+		)...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: ext-scale: %s at %d users: %w",
+				extScaleSystems[si].Name, totals[pi], err)
+		}
+		perfs[i] = perf{wall: time.Since(start), visits: res.UserObservations + res.FailedVisits}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, total := range totals {
+		for si, sys := range extScaleSystems {
+			res := results[pi*len(extScaleSystems)+si]
+			t.AddRow(d0(total), d0(pops[pi].NumCohorts()), sys.Name,
+				f3(res.MeanUserInconsistency()),
+				f4(res.StaleServeFrac()),
+				d0(res.Accounting.ByClass[netmodel.ClassContent].Messages))
+		}
+	}
+
+	// Throughput and memory are machine-dependent, so they must not enter
+	// the (serial-vs-parallel byte-identical) table; report them on stderr.
+	for pi, total := range totals {
+		for si, sys := range extScaleSystems {
+			p := perfs[pi*len(extScaleSystems)+si]
+			if p.wall <= 0 {
+				continue
+			}
+			fmt.Fprintf(ExtScalePerfOutput, "ext-scale: %-12s users=%-8d wall=%-8s users/sec=%.3g visits/sec=%.3g\n",
+				sys.Name, total, p.wall.Round(time.Millisecond),
+				float64(total)/p.wall.Seconds(), float64(p.visits)/p.wall.Seconds())
+		}
+	}
+	if rss, ok := peakRSSKB(); ok {
+		fmt.Fprintf(ExtScalePerfOutput, "ext-scale: peak RSS %.1f MB\n", float64(rss)/1024)
+	}
+	return t, nil
+}
+
+// peakRSSKB reads the process high-water resident set size from
+// /proc/self/status (Linux only; ok=false elsewhere).
+func peakRSSKB() (int, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, found := strings.CutPrefix(line, "VmHWM:"); found {
+			var kb int
+			if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%d kB", &kb); err == nil {
+				return kb, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -23,6 +23,7 @@ func TestParallelFiguresMatchSerial(t *testing.T) {
 		{"fig23", Fig23},
 		{"ext-tree-failure", ExtTreeFailure},
 		{"ext-failover", ExtFailover},
+		{"ext-scale", ExtScale},
 		{"fault-churn", func(s SimScale) (*Table, error) { return FaultScenario(s, "churn") }},
 		{"ablation-adaptive", AblationAdaptive},
 	}

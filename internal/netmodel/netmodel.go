@@ -320,6 +320,34 @@ func (n *Network) Send(from, to Endpoint, sizeKB float64, class Class, now time.
 	return arrival
 }
 
+// Account books count identical messages of sizeKB from ep into both ledgers
+// without entering the delivery path: no queuing, no delay, zero distance.
+// It batches the end-user request traffic of the cohort user model — users
+// are modeled co-located with their edge server, and their requests must not
+// serialize on the server's update uplink — while keeping the dual-ledger
+// write, so the auditor's per-sender vs per-class conservation cross-check
+// still covers batched traffic. Once the endpoint id is interned (its first
+// send or account), Account allocates nothing.
+func (n *Network) Account(ep Endpoint, sizeKB float64, class Class, count int) {
+	if count <= 0 {
+		return
+	}
+	if sizeKB < 0 {
+		sizeKB = 0
+	}
+	si := n.intern(ep.ID)
+	for int(class) >= len(n.byClass) {
+		n.byClass = append(n.byClass, ClassTotals{})
+	}
+	kb := sizeKB * float64(count)
+	t := &n.byClass[class]
+	t.Messages += count
+	t.KB += kb
+	s := &n.bySender[si]
+	s.Messages += count
+	s.KB += kb
+}
+
 // record books one transmission into both ledgers. The two aggregations are
 // written independently on purpose: the auditor cross-checks them against
 // each other, so a message dropped from one ledger is detectable.

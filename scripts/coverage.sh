@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Coverage ratchet (`make cover`, the CI coverage job):
+#
+#   1. run `go test -coverprofile` on the ratcheted packages,
+#   2. fail if any package's statement coverage drops below its floor,
+#   3. additionally hold the cohort user-model files (the code the
+#      million-user equivalence claim rests on) to their own floor,
+#      computed statement-weighted from the merged profiles.
+#
+# Floors ratchet: they may only move up, and they sit a few points below
+# the measured coverage so routine refactors don't trip them while real
+# coverage regressions do.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# package floor%   (measured at ratchet time: cdn 87.7, workload 97.5)
+PACKAGES=(
+    "./internal/cdn 85.0"
+    "./internal/workload 95.0"
+)
+
+# The cohort user-model code paths, held to a tighter floor (measured 93+).
+COHORT_FILES='internal/cdn/cohort\.go|internal/cdn/usermodel\.go|internal/cdn/users\.go|internal/workload/population\.go'
+COHORT_FLOOR=90.0
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+profiles=()
+for entry in "${PACKAGES[@]}"; do
+    pkg=${entry% *}
+    floor=${entry#* }
+    out="$TMP/$(echo "$pkg" | tr './' '__').out"
+    go test -coverprofile="$out" "$pkg" >/dev/null
+    profiles+=("$out")
+    pct=$(go tool cover -func="$out" | awk '/^total:/ {gsub(/%/,""); print $NF}')
+    if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
+        echo "cover: FAIL $pkg at ${pct}% (floor ${floor}%)"
+        fail=1
+    else
+        echo "cover: ok   $pkg at ${pct}% (floor ${floor}%)"
+    fi
+done
+
+# Statement-weighted coverage of the cohort file set across the profiles.
+cohort_pct=$(
+    { for p in "${profiles[@]}"; do tail -n +2 "$p"; done; } |
+    grep -E "$COHORT_FILES" |
+    awk '{
+        # profile line: name.go:a.b,c.d numStatements hitCount
+        n = $(NF-1); hit = $NF
+        total += n
+        if (hit > 0) covered += n
+    } END { if (total == 0) print 0; else printf "%.1f", 100 * covered / total }'
+)
+if awk -v p="$cohort_pct" -v f="$COHORT_FLOOR" 'BEGIN{exit !(p < f)}'; then
+    echo "cover: FAIL cohort user-model files at ${cohort_pct}% (floor ${COHORT_FLOOR}%)"
+    fail=1
+else
+    echo "cover: ok   cohort user-model files at ${cohort_pct}% (floor ${COHORT_FLOOR}%)"
+fi
+
+exit $fail
