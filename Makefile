@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv
 
 check: build vet race
 
@@ -28,11 +28,19 @@ bench:
 # compared strictly (>20% ns/op or allocs/op fails) against the newest
 # committed BENCH_<n>.json.
 bench-smoke:
-	BENCH_PATTERN='Fig19$$|Fig20$$|ExtScale$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
+	BENCH_PATTERN='Fig19$$|Fig20$$|ExtScale$$|ShardedExtScale$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
 	BENCH_TIME=2x BENCH_COUNT=3 BENCH_STRICT=1 \
-	BENCH_GUARD='Fig19,Fig20,ExtScale' \
+	BENCH_GUARD='Fig19,Fig20,ExtScale,ShardedExtScale' \
 	./scripts/bench.sh $(CURDIR)/.bench-smoke.json
 	rm -f $(CURDIR)/.bench-smoke.json
+
+# Shard-count invariance under the race detector: the sharded engine must
+# produce bit-identical results at any worker count, reproduce the
+# cohort==explicit equivalence, and match the serial oracle on
+# schedule-driven counters — across the headline systems and every fault
+# scenario.
+shard-equiv:
+	$(GO) test -race -run 'ShardCountInvariance|ShardedCohortEquivalence|ShardedSerialOracle|ShardedConfigGates|ExtScaleShardInvariance|Sharded' ./internal/cdn ./internal/figures ./internal/sim
 
 # CPU + heap profiles for the Figure 19 sweep (the engine hot path), ready
 # for `go tool pprof`.

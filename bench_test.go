@@ -143,6 +143,28 @@ func BenchmarkExtScale(b *testing.B) {
 	benchSimFigTiny(b, figures.ExtScale)
 }
 
+// BenchmarkShardedExtScale is the same reduced sweep on the sharded
+// multi-core engine: each run spreads over 4 workers draining the default
+// 8-cell partition under conservative time-window synchronization. On a
+// single-core host this measures pure sharding overhead (barriers + cross-
+// cell merge); the wall-clock win appears once GOMAXPROCS exceeds 1.
+// Guarded alongside BenchmarkExtScale so the overhead cannot silently grow.
+func BenchmarkShardedExtScale(b *testing.B) {
+	defer func(w io.Writer) { figures.ExtScalePerfOutput = w }(figures.ExtScalePerfOutput)
+	figures.ExtScalePerfOutput = io.Discard
+	scale := figures.SmallSimScale()
+	scale.Servers = 30
+	scale.UsersPerServer = 1
+	scale.Clusters = 5
+	scale.Shards = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.ExtScale(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Serial vs parallel fan-out of a sweep-heavy figure through the worker
 // pool. Compare these two to see the wall-clock speedup on multicore
 // hardware; the table contents are byte-identical either way.

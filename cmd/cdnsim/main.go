@@ -10,6 +10,7 @@
 //	cdnsim -system TTL -faults churn -failover
 //	cdnsim -faults @scenario.json          # hand-written fault spec
 //	cdnsim -system HAT -audit              # run under the invariant auditor
+//	cdnsim -system HAT -shards 4           # sharded multi-core engine, 4 workers
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
 //	cdnsim -system HAT -cpuprofile cpu.out # pprof CPU profile (also -memprofile, -trace)
 //
@@ -63,6 +64,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		usermodel = fs.String("usermodel", "explicit", "end-user model: explicit (one actor per user) or cohort (weighted per-server cohorts; scales to millions of users)")
 		popFile   = fs.String("population", "", "@file.json population spec (see workload.Population); default for -usermodel cohort: a heavy-tailed draw of servers*users total users")
 		cohorts   = fs.Int("cohorts", 8, "cohorts per server for the generated population")
+		shards    = fs.Int("shards", 0, "sharded multi-core engine worker count (0 = serial engine; results are identical for any value >= 1)")
+		cells     = fs.Int("shardcells", 0, "sharded partition cell count (0 = default 8); the cell count, not the worker count, shapes sharded results")
 		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
 		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
@@ -129,6 +132,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 	}
 	if *failover {
 		opts = append(opts, core.WithFailover())
+	}
+	if *shards > 0 {
+		opts = append(opts, core.WithShards(*shards))
+	}
+	if *cells > 0 {
+		opts = append(opts, core.WithShardCells(*cells))
 	}
 	if *audit {
 		opts = append(opts, core.WithAudit(*auditCad))

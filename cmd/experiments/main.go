@@ -22,6 +22,7 @@
 //	experiments -parallel 1          # serial run (identical output)
 //	experiments -metrics             # per-figure wall/event/alloc summary on stderr
 //	experiments -audit               # run every simulation under the invariant auditor
+//	experiments -shards 4            # sharded multi-core engine for the ext-scale sweep
 //	experiments -checkpoint d        # journal finished figures into directory d
 //	experiments -resume d            # continue an interrupted sweep from d
 //	experiments -timeout 10m         # per-figure deadline
@@ -92,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = serial; output is identical at any value)")
 		metrics   = fs.Bool("metrics", false, "print a per-figure timing/event/allocation summary to stderr")
 		faults    = fs.String("faults", "", "comma-separated fault scenarios to run as fault-<name> figures ("+strings.Join(fault.ScenarioNames(), ", ")+"; \"all\" for every one)")
+		shards    = fs.Int("shards", 0, "run the ext-scale sweep on the sharded multi-core engine with this many workers (0 = serial engine; any value >= 1 yields identical tables)")
 		audit     = fs.Bool("audit", false, "run every simulation under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
 		ckDirFlag = fs.String("checkpoint", "", "journal finished figures into this directory (atomic; survives SIGKILL)")
@@ -144,6 +146,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	simScale.Parallel = *parallel
 	simScale.Audit = *audit
 	simScale.AuditCadence = *auditCad
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if *shards > 0 && *audit {
+		// The runtime auditor reads cross-cell state mid-run and is
+		// serial-only; the cdn layer would reject the combination run by run.
+		return fmt.Errorf("-shards and -audit are mutually exclusive (the invariant auditor is serial-only)")
+	}
+	simScale.Shards = *shards
 
 	// Open the checkpoint journal, if any. -resume implies journaling to the
 	// same directory; a fresh -checkpoint refuses a directory that already

@@ -94,7 +94,7 @@ func (s *simulation) regimeMaxDelay() time.Duration {
 	// 4x ServerTTL), plus a delivery allowance covering antipodal
 	// propagation, inter-ISP penalty, jitter, and uplink queuing of a full
 	// fanout of update payloads behind one transmission.
-	netCfg := s.net.Config()
+	netCfg := s.cells[0].net.Config()
 	const antipodalKm = 20038.0
 	prop := time.Duration(antipodalKm / netCfg.PropagationKmPerSec * float64(time.Second))
 	prop += time.Duration(float64(prop) * netCfg.JitterFrac)
@@ -120,9 +120,9 @@ func (a *auditor) fail(v *audit.Violation) {
 	if v == nil || a.violation != nil {
 		return
 	}
-	v.Time = a.s.eng.Now()
+	v.Time = a.s.cells[0].eng.Now()
 	a.violation = v
-	a.s.eng.Stop()
+	a.s.cells[0].eng.Stop()
 }
 
 // onDelay audits one recorded server catch-up delay as it happens.
@@ -196,8 +196,9 @@ func (a *auditor) check() *audit.Violation {
 		return v
 	}
 	// The copy-free view keeps the per-sweep conservation check from cloning
-	// the whole per-sender ledger every cadence.
-	return audit.CheckAccounting(s.net.View())
+	// the whole per-sender ledger every cadence. The auditor only runs
+	// serial, so cell 0 holds the whole run's state.
+	return audit.CheckAccounting(s.cells[0].net.View())
 }
 
 // checkNodes verifies per-node version and catch-up accounting invariants:
@@ -207,10 +208,11 @@ func (a *auditor) check() *audit.Violation {
 // and a down node is never counted live by the tree bookkeeping.
 func (a *auditor) checkNodes() *audit.Violation {
 	s := a.s
+	published := s.cells[0].published
 	for i, nd := range s.nodes {
-		if nd.version < 0 || nd.version > s.published {
+		if nd.version < 0 || nd.version > published {
 			v := violationAt("version-bounds", i,
-				"node %d holds version %d outside [0, %d]", i, nd.version, s.published)
+				"node %d holds version %d outside [0, %d]", i, nd.version, published)
 			v.Snapshot = a.nodeSnapshot(nd)
 			return v
 		}
@@ -221,9 +223,9 @@ func (a *auditor) checkNodes() *audit.Violation {
 			v.Snapshot = a.nodeSnapshot(nd)
 			return v
 		}
-		if nd.recovering && (nd.syncTarget < 0 || nd.syncTarget > s.published) {
+		if nd.recovering && (nd.syncTarget < 0 || nd.syncTarget > published) {
 			return violationAt("version-bounds", i,
-				"node %d recovering toward %d outside [0, %d]", i, nd.syncTarget, s.published)
+				"node %d recovering toward %d outside [0, %d]", i, nd.syncTarget, published)
 		}
 		if v := audit.CheckSeries(fmt.Sprintf("node %d catchupSum", i), []float64{nd.catchupSum}); v != nil {
 			v.Server = i
@@ -269,9 +271,10 @@ func (a *auditor) checkVisitTraffic() *audit.Violation {
 	if !s.cfg.AccountVisits {
 		return nil
 	}
-	if got := s.net.View().Class(netmodel.ClassContent).Messages; got != s.visitsAccounted {
+	c := s.cells[0]
+	if got := c.net.View().Class(netmodel.ClassContent).Messages; got != c.visitsAccounted {
 		return violationAt("visit-traffic-conservation", -1,
-			"ledger holds %d content messages for %d accounted visits", got, s.visitsAccounted)
+			"ledger holds %d content messages for %d accounted visits", got, c.visitsAccounted)
 	}
 	return nil
 }
@@ -280,22 +283,23 @@ func (a *auditor) checkVisitTraffic() *audit.Violation {
 // must be non-negative and monotone between sweeps.
 func (a *auditor) counterView() map[string]int {
 	s := a.s
+	c := s.cells[0]
 	return map[string]int{
-		"crashes":                s.crashes,
-		"recoveries":             s.recoveries,
-		"failedVisits":           s.failedVisits,
-		"userFailovers":          s.userFailovers,
-		"serverReparents":        s.serverReparents,
-		"ttlFallbacks":           s.ttlFallbacks,
-		"staleObservations":      s.staleObservations,
-		"updateMsgsToServers":    s.updateMsgsToServers,
-		"updateMsgsFromProvider": s.updateMsgsFromProvider,
-		"lightMsgs":              s.lightMsgs,
-		"dnsVisits":              s.dnsVisits,
-		"dnsRedirects":           s.dnsRedirects,
-		"deliverAttempts":        s.deliverAttempts,
-		"deliverSends":           s.deliverSends,
-		"visitsAccounted":        s.visitsAccounted,
+		"crashes":                c.crashes,
+		"recoveries":             c.recoveries,
+		"failedVisits":           c.failedVisits,
+		"userFailovers":          c.userFailovers,
+		"serverReparents":        c.serverReparents,
+		"ttlFallbacks":           c.ttlFallbacks,
+		"staleObservations":      c.staleObservations,
+		"updateMsgsToServers":    c.updateMsgsToServers,
+		"updateMsgsFromProvider": c.updateMsgsFromProvider,
+		"lightMsgs":              c.lightMsgs,
+		"dnsVisits":              c.dnsVisits,
+		"dnsRedirects":           c.dnsRedirects,
+		"deliverAttempts":        c.deliverAttempts,
+		"deliverSends":           c.deliverSends,
+		"visitsAccounted":        c.visitsAccounted,
 		// The modeled population is constant, so the monotone-counter check
 		// doubles as a second population-conservation signal.
 		"modeledUsers": s.um.totalUsers(),
@@ -303,7 +307,7 @@ func (a *auditor) counterView() map[string]int {
 }
 
 func (a *auditor) checkCounters() *audit.Violation {
-	s := a.s
+	c := a.s.cells[0]
 	cur := a.counterView()
 	for name, val := range cur {
 		if val < 0 {
@@ -315,39 +319,39 @@ func (a *auditor) checkCounters() *audit.Violation {
 	}
 	a.prevCounters = cur
 	// Cross-counter relationships.
-	if v := audit.CheckCount("recoveries vs crashes", s.recoveries, s.crashes); v != nil {
+	if v := audit.CheckCount("recoveries vs crashes", c.recoveries, c.crashes); v != nil {
 		return v
 	}
-	if len(s.recoverySeconds) != s.recoveries {
+	if len(c.recoverySeconds) != c.recoveries {
 		return violationAt("catchup-accounting", -1,
-			"%d recovery durations recorded for %d recoveries", len(s.recoverySeconds), s.recoveries)
+			"%d recovery durations recorded for %d recoveries", len(c.recoverySeconds), c.recoveries)
 	}
-	if v := audit.CheckCount("userFailovers vs failedVisits", s.userFailovers, s.failedVisits); v != nil {
+	if v := audit.CheckCount("userFailovers vs failedVisits", c.userFailovers, c.failedVisits); v != nil {
 		return v
 	}
-	if v := audit.CheckCount("dnsRedirects vs dnsVisits", s.dnsRedirects, s.dnsVisits); v != nil {
+	if v := audit.CheckCount("dnsRedirects vs dnsVisits", c.dnsRedirects, c.dnsVisits); v != nil {
 		return v
 	}
-	return audit.CheckSeries("recoverySeconds", s.recoverySeconds)
+	return audit.CheckSeries("recoverySeconds", c.recoverySeconds)
 }
 
 // checkDelivery verifies delivery conservation: every delivery attempt either
 // entered the network or was dropped with a recorded cause. An attempt
 // unaccounted for in either column means a message silently vanished.
 func (a *auditor) checkDelivery() *audit.Violation {
-	s := a.s
+	c := a.s.cells[0]
 	dropped := 0
-	for cause, n := range s.deliverDrops {
+	for cause, n := range c.deliverDrops {
 		if n < 0 {
 			return violationAt("delivery-conservation", -1, "drop cause %q count %d", cause, n)
 		}
 		dropped += n
 	}
-	if s.deliverAttempts != s.deliverSends+dropped {
+	if c.deliverAttempts != c.deliverSends+dropped {
 		v := violationAt("delivery-conservation", -1,
 			"%d delivery attempts != %d sends + %d recorded drops",
-			s.deliverAttempts, s.deliverSends, dropped)
-		v.Snapshot = fmt.Sprintf("drops=%v", s.deliverDrops)
+			c.deliverAttempts, c.deliverSends, dropped)
+		v.Snapshot = fmt.Sprintf("drops=%v", c.deliverDrops)
 		return v
 	}
 	return nil
@@ -356,7 +360,7 @@ func (a *auditor) checkDelivery() *audit.Violation {
 func (a *auditor) nodeSnapshot(nd *node) string {
 	return fmt.Sprintf("node %d: version=%d gen=%d down=%v recovering=%v syncTarget=%d catchupSum=%v catchupN=%d published=%d",
 		nd.idx, nd.version, nd.gen, nd.down, nd.recovering, nd.syncTarget,
-		nd.catchupSum, nd.catchupN, a.s.published)
+		nd.catchupSum, nd.catchupN, a.s.cells[0].published)
 }
 
 // violationAt builds a violation pinned to one server (or -1 for global).

@@ -156,7 +156,7 @@ func TestAuditorCatchesSeededCorruption(t *testing.T) {
 		},
 		{
 			name:     "version beyond published",
-			corrupt:  func(s *simulation) { s.nodes[3].version = s.published + 7 },
+			corrupt:  func(s *simulation) { s.nodes[3].version = s.cells[0].published + 7 },
 			property: "version-bounds",
 		},
 		{
@@ -166,12 +166,12 @@ func TestAuditorCatchesSeededCorruption(t *testing.T) {
 		},
 		{
 			name:     "negative message counter",
-			corrupt:  func(s *simulation) { s.updateMsgsToServers = -5 },
+			corrupt:  func(s *simulation) { s.cells[0].updateMsgsToServers = -5 },
 			property: "counter-nonnegative",
 		},
 		{
 			name:     "unaccounted delivery attempt",
-			corrupt:  func(s *simulation) { s.deliverAttempts++ },
+			corrupt:  func(s *simulation) { s.cells[0].deliverAttempts++ },
 			property: "delivery-conservation",
 		},
 		{
@@ -198,7 +198,7 @@ func TestAuditorCatchesSeededCorruption(t *testing.T) {
 			}
 			// Let the run warm up (versions advance, counters move), then
 			// corrupt one piece of state behind the simulation's back.
-			s.at(4*time.Minute, func() { tc.corrupt(s) })
+			s.at(0, 4*time.Minute, func() { tc.corrupt(s) })
 			_, err = s.run()
 			var v *audit.Violation
 			if !errors.As(err, &v) {

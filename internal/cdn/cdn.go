@@ -152,8 +152,30 @@ type Config struct {
 	// OnTick, when set, is invoked at the same event stride with the
 	// current virtual time and processed-event count. It backs external
 	// liveness probes (stuck-job watchdogs); it must be cheap and must not
-	// touch simulation state.
+	// touch simulation state. Under a sharded run (Shards > 0) it reports
+	// cell 0's clock and event count and may be called from a worker
+	// goroutine, so it must also be safe to call concurrently with the
+	// caller's own goroutine.
 	OnTick func(now time.Duration, events uint64)
+
+	// Shards selects the execution engine. Zero (the default) runs the
+	// classic serial engine. A value >= 1 runs the sharded engine: the
+	// server topology is partitioned into ShardCells cells, each with its
+	// own event heap and RNG stream, synchronized by a conservative
+	// time-window barrier, with Shards worker goroutines executing cells in
+	// parallel. Results are a pure function of (Seed, ShardCells) — the
+	// worker count changes only wall-clock time, never output. Sharded runs
+	// are a different simulation than serial runs of the same seed (cells
+	// draw independent RNG streams), and a few inherently global features
+	// are unavailable: UseDNSRouting, UserSwitchEveryVisit, Audit,
+	// OnCatchUp, and multicast tree mutation (Failover/RepairTree under
+	// InfraMulticast).
+	Shards int
+	// ShardCells is the partition granularity for sharded runs: the number
+	// of topology cells (clamped to the number of partition atoms). It is
+	// part of the simulation's identity — changing it changes results —
+	// so invariance suites fix ShardCells and vary Shards. Default 8.
+	ShardCells int
 
 	Net  netmodel.Config
 	Seed int64
@@ -247,6 +269,32 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FailServers < 0 {
 		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("cdn: negative Shards %d", c.Shards)
+	}
+	if c.ShardCells < 0 {
+		return c, fmt.Errorf("cdn: negative ShardCells %d", c.ShardCells)
+	}
+	if c.Shards > 0 {
+		if c.ShardCells == 0 {
+			c.ShardCells = 8
+		}
+		if c.UseDNSRouting {
+			return c, fmt.Errorf("cdn: sharded runs cannot use UseDNSRouting (the authoritative DNS is global state)")
+		}
+		if c.UserSwitchEveryVisit {
+			return c, fmt.Errorf("cdn: sharded runs cannot use UserSwitchEveryVisit (visits would cross cells)")
+		}
+		if c.Audit != nil {
+			return c, fmt.Errorf("cdn: sharded runs cannot use Audit (sweeps observe global state; audit a serial run)")
+		}
+		if c.OnCatchUp != nil {
+			return c, fmt.Errorf("cdn: sharded runs cannot use OnCatchUp (callbacks would fire from multiple goroutines)")
+		}
+		if c.Infra == consistency.InfraMulticast && (c.Failover || c.RepairTree) {
+			return c, fmt.Errorf("cdn: sharded runs cannot mutate the multicast tree (Failover/RepairTree); the partition is static")
+		}
 	}
 	if c.Audit != nil && c.Audit.Cadence < 0 {
 		return c, fmt.Errorf("cdn: negative audit cadence %v", c.Audit.Cadence)

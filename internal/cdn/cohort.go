@@ -69,7 +69,9 @@ func (m *cohortUsers) schedule() error {
 			}
 			m.cohorts = append(m.cohorts, c)
 			m.initialUsers += spec.Count
-			s.eng.ScheduleAfterFunc(spec.Offset(), cohortVisitEvent, m, int64(c.idx))
+			// The cohort lives in its home server's cell; failover re-homes
+			// within the cell, so the loop never migrates.
+			s.cell(c.home).eng.ScheduleAfterFunc(spec.Offset(), cohortVisitEvent, m, int64(c.idx))
 		}
 	}
 	return nil
@@ -82,7 +84,7 @@ func cohortVisitEvent(_ *sim.Engine, recv any, arg int64) {
 	m := recv.(*cohortUsers)
 	c := m.cohorts[arg]
 	m.visit(c)
-	m.s.eng.ScheduleAfterFunc(c.period, cohortVisitEvent, m, arg)
+	m.s.cell(c.home).eng.ScheduleAfterFunc(c.period, cohortVisitEvent, m, arg)
 }
 
 // visit performs one batched visit: count users hitting the cohort's server
@@ -105,7 +107,7 @@ func (m *cohortUsers) visit(c *cohort) {
 		// All members hit the dead server and fail; with Failover the
 		// whole cohort re-homes at once (members share a location, so
 		// the explicit model moves each of them identically).
-		s.failedVisits += w
+		s.cell(c.home).failedVisits += w
 		if s.cfg.Failover {
 			m.failover(c)
 		}
@@ -117,10 +119,10 @@ func (m *cohortUsers) visit(c *cohort) {
 		// branch at the same instant).
 		target := c.home
 		s.selfAdaptiveVisitPoll(target, func() {
-			s.observeAgg(&c.leader, 1, s.nodes[target].version)
+			s.observeAgg(target, &c.leader, 1, s.nodes[target].version)
 		})
 		if w > 1 {
-			s.observeAgg(&c.follow, w-1, nd.version)
+			s.observeAgg(target, &c.follow, w-1, nd.version)
 		}
 	case s.cfg.Method == consistency.MethodInvalidation && !nd.valid:
 		// Every member's visit joins the same in-flight fetch; all
@@ -133,7 +135,7 @@ func (m *cohortUsers) visit(c *cohort) {
 		if nd.rc != nil {
 			// One regime observation: the explicit model's members 1..
 			// call ObserveVisit at the same timestamp, a zero-gap no-op.
-			nd.rc.ObserveVisit(s.eng.Now())
+			nd.rc.ObserveVisit(s.now(c.home))
 		}
 		if !nd.valid {
 			target := c.home
@@ -159,9 +161,9 @@ func (m *cohortUsers) visit(c *cohort) {
 // leader first, then the followers, mirroring the explicit model's member
 // order.
 func (m *cohortUsers) observeAll(c *cohort, v int) {
-	m.s.observeAgg(&c.leader, 1, v)
+	m.s.observeAgg(c.home, &c.leader, 1, v)
 	if c.count > 1 {
-		m.s.observeAgg(&c.follow, c.count-1, v)
+		m.s.observeAgg(c.home, &c.follow, c.count-1, v)
 	}
 }
 
@@ -169,9 +171,9 @@ func (m *cohortUsers) observeAll(c *cohort, v int) {
 // form of the explicit model's per-user re-homing (members share a location,
 // so every member picks the same server).
 func (m *cohortUsers) failover(c *cohort) {
-	if best := m.s.nearestLive(c.loc); best > 0 {
+	if best := m.s.nearestLive(c.home, c.loc); best > 0 {
+		m.s.cell(c.home).userFailovers += c.count
 		c.home = best
-		m.s.userFailovers += c.count
 	}
 }
 

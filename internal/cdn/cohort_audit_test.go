@@ -49,7 +49,7 @@ func TestAuditorCatchesCohortCorruption(t *testing.T) {
 		},
 		{
 			name:     "unledgered visit",
-			corrupt:  func(s *simulation) { s.visitsAccounted++ },
+			corrupt:  func(s *simulation) { s.cells[0].visitsAccounted++ },
 			property: "visit-traffic-conservation",
 		},
 	}
@@ -65,7 +65,7 @@ func TestAuditorCatchesCohortCorruption(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s.at(4*time.Minute, func() { tc.corrupt(s) })
+			s.at(0, 4*time.Minute, func() { tc.corrupt(s) })
 			_, err = s.run()
 			var v *audit.Violation
 			if !errors.As(err, &v) {

@@ -18,8 +18,8 @@ import (
 func (s *simulation) scheduleLeaseLoops() {
 	for _, nd := range s.nodes[1:] {
 		i := nd.idx
-		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.LeaseDuration)))
-		s.at(offset, func() { s.renewLease(i, nil) })
+		offset := time.Duration(s.rng(i).Int63n(int64(s.cfg.LeaseDuration)))
+		s.at(i, offset, func() { s.renewLease(i, nil) })
 	}
 }
 
@@ -45,7 +45,7 @@ func (s *simulation) renewLease(i int, onDone func()) {
 			return // outage: no grant; the renewal timeout serves stale
 		}
 		provider := s.nodes[0]
-		expiry := s.eng.Now() + s.cfg.LeaseDuration
+		expiry := s.now(0) + s.cfg.LeaseDuration
 		if provider.leases == nil {
 			provider.leases = make(map[int]time.Duration)
 		}
@@ -68,7 +68,7 @@ func (s *simulation) renewLease(i int, onDone func()) {
 			}
 		})
 	})
-	s.at(s.eng.Now()+s.cfg.LeaseDuration, func() {
+	s.at(i, s.now(i)+s.cfg.LeaseDuration, func() {
 		if nd.gen != gen || nd.leaseSeq != seq || !nd.leaseRenewing {
 			return
 		}
@@ -88,7 +88,7 @@ func (s *simulation) renewLease(i int, onDone func()) {
 func (s *simulation) pushToLeaseholders() {
 	provider := s.nodes[0]
 	v := provider.version
-	now := s.eng.Now()
+	now := s.now(0)
 	for i := 1; i < len(s.nodes); i++ {
 		expiry, ok := provider.leases[i]
 		if !ok {
@@ -111,7 +111,7 @@ func (s *simulation) pushToLeaseholders() {
 
 // leaseValid reports whether a server's lease covers the current time.
 func (s *simulation) leaseValid(i int) bool {
-	return s.nodes[i].leaseExpiry > s.eng.Now()
+	return s.nodes[i].leaseExpiry > s.now(i)
 }
 
 // --- Cluster flooding (broadcast) ---

@@ -31,9 +31,9 @@ func (s *simulation) scheduleRegimeLoops() error {
 		nd.rc = rc
 		nd.regime = consistency.RegimeTTL
 		i := nd.idx
-		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)))
-		s.at(offset, func() { s.pollParent(i) })
-		s.at(offset+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
+		offset := time.Duration(s.rng(i).Int63n(int64(s.cfg.ServerTTL)))
+		s.at(i, offset, func() { s.pollParent(i) })
+		s.at(i, offset+s.cfg.ServerTTL, func() { s.regimeEpoch(i) })
 	}
 	return nil
 }
@@ -69,7 +69,7 @@ func (s *simulation) regimeEpoch(i int) {
 			s.armWatchdog(i)
 		}
 	}
-	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if nd.down || nd.gen != gen {
 			return
 		}
@@ -111,7 +111,7 @@ func (s *simulation) regimePublish() {
 			}
 			s.setVersion(nd, v)
 			if nd.rc != nil {
-				nd.rc.ObserveUpdate(s.eng.Now())
+				nd.rc.ObserveUpdate(s.now(child))
 			}
 		})
 	}

@@ -44,9 +44,9 @@ func (s *simulation) scheduleServerLoops() error {
 			nd.adapt = adapt
 		}
 		// Stagger first polls uniformly over one TTL, as TTL caches do.
-		offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)))
 		i := nd.idx
-		s.at(offset, func() { s.pollParent(i) })
+		offset := time.Duration(s.rng(i).Int63n(int64(s.cfg.ServerTTL)))
+		s.at(i, offset, func() { s.pollParent(i) })
 	}
 	return nil
 }
@@ -82,7 +82,7 @@ func (s *simulation) pollAttempt(i, attempt int) {
 			s.onPollResponse(i, p, v)
 		})
 	})
-	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if answered || nd.down || nd.gen != gen {
 			return
 		}
@@ -101,7 +101,7 @@ func (s *simulation) pollRetry(i, p, attempt int) {
 		pn := s.nodes[p]
 		if pn.down && p != 0 && s.cfg.Infra == consistency.InfraMulticast && s.tree.Parent(i) == p {
 			if err := s.tree.Remove(p, s.locs, s.cfg.TreeDegree, s.alive); err == nil {
-				s.serverReparents++
+				s.cell(i).serverReparents++
 			}
 			if s.aud != nil {
 				s.aud.onTreeMutation(fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
@@ -109,9 +109,9 @@ func (s *simulation) pollRetry(i, p, attempt int) {
 		}
 		attempt = 0 // fresh cycle against the (possibly new) parent
 	}
-	backoff := s.pollBackoff(attempt)
+	backoff := s.pollBackoff(i, attempt)
 	gen := nd.gen
-	s.at(s.eng.Now()+backoff, func() {
+	s.at(i, s.now(i)+backoff, func() {
 		if nd.down || nd.gen != gen {
 			return
 		}
@@ -123,7 +123,7 @@ func (s *simulation) pollRetry(i, p, attempt int) {
 // at four, plus jitter to desynchronise the retry storm when a fault clears.
 // Jitter is drawn only on the retry path, so healthy runs consume no extra
 // randomness.
-func (s *simulation) pollBackoff(attempt int) time.Duration {
+func (s *simulation) pollBackoff(i, attempt int) time.Duration {
 	d := s.cfg.ServerTTL
 	switch {
 	case attempt >= 3:
@@ -131,7 +131,7 @@ func (s *simulation) pollBackoff(attempt int) time.Duration {
 	case attempt == 2:
 		d = 2 * s.cfg.ServerTTL
 	}
-	return d + time.Duration(s.eng.Rand().Int63n(int64(s.cfg.ServerTTL)/4+1))
+	return d + time.Duration(s.rng(i).Int63n(int64(s.cfg.ServerTTL)/4+1))
 }
 
 // pollAfter resumes a node's poll loop after d, unless the node crashed or
@@ -140,7 +140,7 @@ func (s *simulation) pollBackoff(attempt int) time.Duration {
 // visit loop it dominates event volume under TTL regimes, so one allocation
 // per cycle here is one allocation per simulated poll.
 func (s *simulation) pollAfter(i int, d time.Duration) {
-	s.eng.ScheduleAfterFunc(d, pollResumeEvent, s, packNodeGen(i, s.nodes[i].gen))
+	s.cell(i).eng.ScheduleAfterFunc(d, pollResumeEvent, s, packNodeGen(i, s.nodes[i].gen))
 }
 
 // armWatchdog starts the subscription watchdog on a node whose poll loop is
@@ -193,10 +193,10 @@ func (s *simulation) armWatchdog(i int) {
 					s.ttlFallback(i)
 					return
 				}
-				s.at(s.eng.Now()+2*s.cfg.ServerTTL, tick)
+				s.at(i, s.now(i)+2*s.cfg.ServerTTL, tick)
 			})
 		})
-		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 			if answered || nd.down || nd.gen != gen {
 				return
 			}
@@ -208,7 +208,7 @@ func (s *simulation) armWatchdog(i int) {
 			s.ttlFallback(i)
 		})
 	}
-	s.at(s.eng.Now()+2*s.cfg.ServerTTL, tick)
+	s.at(i, s.now(i)+2*s.cfg.ServerTTL, tick)
 }
 
 // ttlFallback reverts a notification-dependent node to TTL polling after its
@@ -217,7 +217,7 @@ func (s *simulation) ttlFallback(i int) {
 	nd := s.nodes[i]
 	nd.pollStopped = false
 	nd.watchdogArmed = false
-	s.ttlFallbacks++
+	s.cell(i).ttlFallbacks++
 	if nd.auto != nil {
 		nd.auto = consistency.NewSelfAdaptive()
 	}
@@ -245,21 +245,29 @@ func (s *simulation) onPollResponse(i, p, v int) {
 		}
 		if notify {
 			// Switch to Invalidation (Algorithm 1 line 8): register
-			// with the parent and pause the poll loop.
+			// with the parent and pause the poll loop. The child's version
+			// rides the registration message (a sharded run cannot read it
+			// at the parent); a serial run reads it at arrival, exactly as
+			// it always did.
 			nd.pollStopped = true
 			s.armWatchdog(i)
+			childV := nd.version
 			s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
 				if s.nodes[p].down || (p == 0 && s.providerDown) {
 					return // subscription lost; the watchdog (or the
 					// next visit poll) recovers the node
 				}
-				s.subscribe(p, i)
+				v := childV
+				if !s.sharded() {
+					v = s.nodes[i].version
+				}
+				s.subscribe(p, i, v)
 			})
 			return
 		}
 		s.pollAfter(i, s.cfg.ServerTTL)
 	case consistency.MethodAdaptiveTTL:
-		now := s.eng.Now()
+		now := s.now(i)
 		if hadUpdate {
 			nd.adapt.ObserveUpdate(now)
 		} else {
@@ -268,7 +276,7 @@ func (s *simulation) onPollResponse(i, p, v int) {
 		s.pollAfter(i, nd.adapt.NextTTL())
 	case consistency.MethodRegime:
 		if hadUpdate && nd.rc != nil {
-			nd.rc.ObserveUpdate(s.eng.Now())
+			nd.rc.ObserveUpdate(s.now(i))
 		}
 		// Keep polling only while still in the TTL regime.
 		if nd.regime == consistency.RegimeTTL && !nd.pollStopped {
@@ -280,8 +288,10 @@ func (s *simulation) onPollResponse(i, p, v int) {
 }
 
 // subscribe registers child as an Invalidation-mode subscriber at a source
-// node (provider or supernode).
-func (s *simulation) subscribe(src, child int) {
+// node (provider or supernode). childV is the child's version as known to
+// the registration (read at arrival in serial runs, carried on the message
+// in sharded ones).
+func (s *simulation) subscribe(src, child, childV int) {
 	nd := s.nodes[src]
 	if nd.subscribers == nil {
 		nd.subscribers = make(map[int]bool)
@@ -290,7 +300,7 @@ func (s *simulation) subscribe(src, child int) {
 	// seen, notify immediately rather than waiting for the next publish —
 	// handles an update racing the subscription.
 	nd.subscribers[child] = false
-	if nd.version > s.nodes[child].version {
+	if nd.version > childV {
 		s.notifySubscribers(nd)
 	}
 }
@@ -315,7 +325,7 @@ func (s *simulation) triggerFetch(i int, cb func()) {
 	nd.fetchSeq++
 	seq, gen := nd.fetchSeq, nd.gen
 	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() { s.serveFetch(p, i) })
-	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if nd.down || nd.gen != gen || nd.fetchSeq != seq || !nd.fetchInFlight {
 			return
 		}
@@ -416,10 +426,19 @@ func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
 		return
 	}
 	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
-		if answered || nd.down || nd.gen != gen {
+		// This closure runs at the parent. The serial fast path may read the
+		// requester's abort state directly; a sharded run must not (another
+		// cell's state mid-window) and relies on the response-side and
+		// timeout guards at i instead.
+		if !s.sharded() && (answered || nd.down || nd.gen != gen) {
 			return
 		}
 		if s.nodes[p].down || (p == 0 && s.providerDown) {
+			if s.sharded() {
+				// No answer crosses back; the timeout at i serves the
+				// stale content and resumes the loop.
+				return
+			}
 			// The source died or went dark: serve the stale content and
 			// resume the poll loop.
 			answered = true
@@ -439,7 +458,7 @@ func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
 			resume()
 		})
 	})
-	s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if answered || nd.down || nd.gen != gen {
 			return
 		}

@@ -1,0 +1,264 @@
+package cdn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cdnconsistency/internal/consistency"
+	"cdnconsistency/internal/geo"
+	"cdnconsistency/internal/netmodel"
+	"cdnconsistency/internal/sim"
+)
+
+// This file holds the sharded-execution substrate: the per-cell state, the
+// static topology partition, and the node-routed accessors every protocol
+// path uses. A serial run is the degenerate case of exactly one cell holding
+// every node — the same code executes, on the classic single engine.
+//
+// The partition rule keeps all protocol traffic except provider<->cell
+// exchanges inside one cell: the indivisible units ("atoms") are the
+// top-level communication subtrees — each child subtree of the update tree's
+// root (a single server under the unicast star, a relay subtree under
+// multicast, a supernode cluster under hybrid), or each flooding cluster
+// under broadcast. Atoms are sorted by distance from the provider and packed
+// into cells in distance bands, so cross-cell node pairs are geographically
+// separated and the conservative lookahead — the minimum network propagation
+// delay over all cross-cell pairs — stays as large as the partition allows.
+// User failover re-homes within the dead server's cell (the regional
+// catchment an anycast CDN would fail over inside), so a user's entire
+// lifetime stays in one cell.
+
+// maxEventsPerCell is the runaway-simulation backstop, per cell.
+const maxEventsPerCell = 200_000_000
+
+// cellState is one partition cell's execution state: its engine, its own
+// view of the network (jitter/loss draws come from the cell's RNG; each
+// message is booked in its sender's cell), and the run counters its nodes
+// accumulate. Counters are merged in cell order when the run ends.
+type cellState struct {
+	eng *sim.Engine
+	net *netmodel.Network
+
+	// published is the id of the newest snapshot published so far.
+	// Publication times are a static schedule, so every cell advances its
+	// own copy with a local marker event at each publication instant — the
+	// stale-serve comparison needs no cross-cell read.
+	published int
+
+	dnsRedirects int
+	dnsVisits    int
+
+	updateMsgsToServers    int
+	updateMsgsFromProvider int
+	lightMsgs              int
+
+	crashes           int
+	recoveries        int
+	recoverySeconds   []float64
+	failedVisits      int
+	userFailovers     int
+	serverReparents   int
+	ttlFallbacks      int
+	staleObservations int
+	visitsAccounted   int
+
+	deliverAttempts int
+	deliverSends    int
+	deliverDrops    map[string]int
+}
+
+// sharded reports whether this run executes under the window barrier.
+func (s *simulation) sharded() bool { return s.shEng != nil }
+
+// cell returns the cell that owns node i.
+func (s *simulation) cell(i int) *cellState { return s.cells[s.cellOf[i]] }
+
+// now is node i's cell-local clock. Within one window, cells advance
+// independently; an event handler must only read the clock of the cell it
+// runs in.
+func (s *simulation) now(i int) time.Duration { return s.cell(i).eng.Now() }
+
+// rng is node i's cell-local randomness stream.
+func (s *simulation) rng(i int) *rand.Rand { return s.cell(i).eng.Rand() }
+
+// at schedules f at absolute time t in node i's cell. It rides the engine's
+// thunk path, so the engine side of every protocol continuation is
+// allocation-free (f itself may still be a closure).
+func (s *simulation) at(i int, t time.Duration, f func()) {
+	s.cell(i).eng.ScheduleAtCall(t, f) //nolint:errcheck // t >= now by construction
+}
+
+// eachNet schedules f against every cell's network view at time t.
+// Partition and overload faults must be visible to every sender, so each
+// cell applies them locally at the fault instant — in serial that is the one
+// event the classic engine always scheduled.
+func (s *simulation) eachNet(t time.Duration, f func(*netmodel.Network)) {
+	for _, c := range s.cells {
+		c := c
+		c.eng.ScheduleAtCall(t, func() { f(c.net) }) //nolint:errcheck // t >= 0 by construction
+	}
+}
+
+// initCells builds the execution cells. Serial runs get one cell with the
+// classic engine seeded directly from cfg.Seed (bit-identical to the
+// pre-sharding engine); sharded runs partition the topology and derive each
+// cell's RNG from (Seed, cell) via the sharded engine.
+func (s *simulation) initCells() error {
+	if s.cfg.Shards <= 0 {
+		eng := sim.NewEngine(s.cfg.Seed)
+		eng.SetMaxEvents(maxEventsPerCell)
+		net, err := netmodel.New(s.cfg.Net, eng.Rand())
+		if err != nil {
+			return fmt.Errorf("cdn: %w", err)
+		}
+		s.cells = []*cellState{{eng: eng, net: net}}
+		s.cellOf = make([]int, len(s.nodes))
+		return nil
+	}
+	cellOf, n, lookahead, err := s.partitionCells()
+	if err != nil {
+		return err
+	}
+	sh, err := sim.NewSharded(sim.ShardedConfig{
+		Seed:             s.cfg.Seed,
+		Cells:            n,
+		Lookahead:        lookahead,
+		Workers:          s.cfg.Shards,
+		MaxEventsPerCell: maxEventsPerCell,
+	})
+	if err != nil {
+		return fmt.Errorf("cdn: %w", err)
+	}
+	s.shEng = sh
+	s.cellOf = cellOf
+	for i := 0; i < n; i++ {
+		net, err := netmodel.New(s.cfg.Net, sh.Cell(i).Rand())
+		if err != nil {
+			return fmt.Errorf("cdn: %w", err)
+		}
+		s.cells = append(s.cells, &cellState{eng: sh.Cell(i), net: net})
+	}
+	return nil
+}
+
+// partitionAtoms returns the indivisible node groups of the partition, each
+// with its communication root first. All intra-atom traffic stays inside one
+// cell by construction; only provider<->atom traffic can cross cells.
+func (s *simulation) partitionAtoms() [][]int {
+	if s.cfg.Infra == consistency.InfraBroadcast {
+		// Flooding stays within a cluster; the provider seeds each cluster
+		// through its first member.
+		atoms := make([][]int, 0, len(s.clusterMembers))
+		for _, members := range s.clusterMembers {
+			if len(members) > 0 {
+				atoms = append(atoms, members)
+			}
+		}
+		return atoms
+	}
+	var atoms [][]int
+	for _, r := range s.tree.Children(0) {
+		var atom []int
+		var walk func(int)
+		walk = func(i int) {
+			atom = append(atom, i)
+			for _, c := range s.tree.Children(i) {
+				walk(c)
+			}
+		}
+		walk(r)
+		atoms = append(atoms, atom)
+	}
+	return atoms
+}
+
+// partitionCells computes the static node->cell assignment and the
+// conservative lookahead. The assignment is a pure function of the topology
+// and ShardCells — never of Shards — so it is identical across worker
+// counts, which is what makes worker-count invariance exact.
+func (s *simulation) partitionCells() ([]int, int, time.Duration, error) {
+	atoms := s.partitionAtoms()
+	if len(atoms) == 0 {
+		return nil, 0, 0, fmt.Errorf("cdn: sharded run needs at least one server")
+	}
+	want := s.cfg.ShardCells
+	if want > len(atoms) {
+		want = len(atoms)
+	}
+
+	// Distance-band the atoms: nearest atoms share the provider's cell, so
+	// the smallest provider<->server delays never become cross-cell bounds.
+	providerLoc := s.nodes[0].ep.Loc
+	sort.Slice(atoms, func(i, j int) bool {
+		di := geo.DistanceKm(providerLoc, s.nodes[atoms[i][0]].ep.Loc)
+		dj := geo.DistanceKm(providerLoc, s.nodes[atoms[j][0]].ep.Loc)
+		if di != dj {
+			return di < dj
+		}
+		return atoms[i][0] < atoms[j][0]
+	})
+	cellOf := make([]int, len(s.nodes))
+	per := (len(s.nodes) - 1 + want - 1) / want
+	cellIdx, inCell := 0, 0
+	for _, atom := range atoms {
+		if inCell >= per && cellIdx < want-1 {
+			cellIdx++
+			inCell = 0
+		}
+		for _, nd := range atom {
+			cellOf[nd] = cellIdx
+		}
+		inCell += len(atom)
+	}
+	n := cellIdx + 1
+
+	// The lookahead is the minimum propagation delay over every cross-cell
+	// node pair — not just pairs that exchange protocol messages — so its
+	// safety needs no per-method reasoning. netmodel guarantees every
+	// arrival is at least PropagationDelay after the send (queuing, jitter,
+	// overload, and loss only add), and BaseDelay keeps the bound positive
+	// even for co-located endpoints.
+	probe, err := netmodel.New(s.cfg.Net, nil)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("cdn: %w", err)
+	}
+	var lookahead time.Duration
+	for i := 0; i < len(s.nodes); i++ {
+		for j := i + 1; j < len(s.nodes); j++ {
+			if cellOf[i] == cellOf[j] {
+				continue
+			}
+			if d := probe.PropagationDelay(s.nodes[i].ep, s.nodes[j].ep); lookahead == 0 || d < lookahead {
+				lookahead = d
+			}
+		}
+	}
+	if lookahead == 0 {
+		// Single-cell partition (tiny topology): the barrier never
+		// exchanges anything, any positive window length works.
+		lookahead = probe.PropagationDelay(s.nodes[0].ep, s.nodes[0].ep)
+	}
+	return cellOf, n, lookahead, nil
+}
+
+// mergeCellTallies folds the per-cell counters into the result, in cell
+// order. With one cell this is a plain copy of the serial counters.
+func (s *simulation) mergeCellTallies(res *Result) {
+	for _, c := range s.cells {
+		res.UpdateMsgsToServers += c.updateMsgsToServers
+		res.UpdateMsgsFromProvider += c.updateMsgsFromProvider
+		res.LightMsgs += c.lightMsgs
+		res.DNSRedirects += c.dnsRedirects
+		res.DNSVisits += c.dnsVisits
+		res.Crashes += c.crashes
+		res.Recoveries += c.recoveries
+		res.RecoverySeconds = append(res.RecoverySeconds, c.recoverySeconds...)
+		res.FailedVisits += c.failedVisits
+		res.UserFailovers += c.userFailovers
+		res.ServerReparents += c.serverReparents
+		res.TTLFallbacks += c.ttlFallbacks
+		res.StaleObservations += c.staleObservations
+	}
+}

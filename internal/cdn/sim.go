@@ -85,10 +85,17 @@ type node struct {
 
 type simulation struct {
 	cfg  Config
-	eng  *sim.Engine
-	net  *netmodel.Network
 	topo *topology.Topology
 	tree *overlay.Tree
+
+	// Execution cells (see sharded.go). A serial run has exactly one cell
+	// holding every node; a sharded run has one cell per topology partition,
+	// driven by shEng's conservative window barrier. cellOf maps node index
+	// to owning cell; all clocks, RNG draws, network traffic, and counters
+	// route through the owning cell.
+	cells  []*cellState
+	cellOf []int
+	shEng  *sim.Sharded
 
 	nodes []*node
 	// um is the end-user population model (explicit actors or weighted
@@ -104,47 +111,20 @@ type simulation struct {
 	clusterOf      []int
 	clusterMembers [][]int
 
-	dnsRedirects int
-	dnsVisits    int
-
 	// publishAt[snapshot] is the absolute publication time (snapshot ids
 	// are 1-based; index 0 unused).
 	publishAt []time.Duration
 	horizon   time.Duration
 
-	updateMsgsToServers    int
-	updateMsgsFromProvider int
-	lightMsgs              int
-
-	// Fault-injection state: the compiled schedule, the provider-outage
-	// flag with its deferred dissemination, the id of the newest published
-	// snapshot (for the stale-serve metric), and the robustness counters.
+	// Fault-injection state: the compiled schedule and the provider-outage
+	// flag with its deferred dissemination. Provider state is only ever
+	// touched from the provider's cell (cell 0), so these need no sharding.
 	faultEvents   []fault.Event
 	providerDown  bool
 	pendingDissem bool
-	published     int
 
-	crashes           int
-	recoveries        int
-	recoverySeconds   []float64
-	failedVisits      int
-	userFailovers     int
-	serverReparents   int
-	ttlFallbacks      int
-	staleObservations int
-	// visitsAccounted counts the end-user requests booked into the traffic
-	// ledger under AccountVisits, independently of the ledger itself; the
-	// auditor cross-checks the two.
-	visitsAccounted int
-
-	// Delivery conservation ledger: every deliver call is an attempt, and
-	// either enters the network (a send) or is dropped with a recorded
-	// cause. The auditor cross-checks attempts == sends + drops.
-	deliverAttempts int
-	deliverSends    int
-	deliverDrops    map[string]int
-
-	// aud is the runtime invariant auditor, nil unless cfg.Audit is set.
+	// aud is the runtime invariant auditor, nil unless cfg.Audit is set
+	// (serial runs only; withDefaults rejects Audit under sharding).
 	aud *auditor
 }
 
@@ -163,15 +143,8 @@ func newSimulation(cfg Config) (*simulation, error) {
 			return nil, fmt.Errorf("cdn: %w", err)
 		}
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	net, err := netmodel.New(cfg.Net, eng.Rand())
-	if err != nil {
-		return nil, fmt.Errorf("cdn: %w", err)
-	}
 	s := &simulation{
 		cfg:  cfg,
-		eng:  eng,
-		net:  net,
 		topo: topo,
 	}
 
@@ -200,12 +173,20 @@ func newSimulation(cfg Config) (*simulation, error) {
 		return nil, err
 	}
 
+	// Cells come after the tree (the partition follows the communication
+	// topology) but before anything that draws randomness: in serial mode
+	// the one cell's engine is seeded exactly as the classic engine was, so
+	// every setup-time draw below consumes the same stream positions.
+	if err := s.initCells(); err != nil {
+		return nil, err
+	}
+
 	if cfg.UseDNSRouting {
 		entries := make([]dns.ServerEntry, 0, len(topo.Servers))
 		for i, srv := range topo.Servers {
 			entries = append(entries, dns.ServerEntry{Index: i + 1, Loc: srv.Loc})
 		}
-		auth, err := dns.NewAuthoritative(entries, 3, eng.Rand())
+		auth, err := dns.NewAuthoritative(entries, 3, s.rng(0))
 		if err != nil {
 			return nil, fmt.Errorf("cdn: %w", err)
 		}
@@ -226,10 +207,11 @@ func newSimulation(cfg Config) (*simulation, error) {
 		return nil, fmt.Errorf("cdn: population spans %d servers, topology has %d",
 			len(cfg.Population.Servers), len(topo.Servers))
 	}
-	s.um, err = newUserModel(s)
+	um, err := newUserModel(s)
 	if err != nil {
 		return nil, err
 	}
+	s.um = um
 
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		isps := make([]int, len(topo.Servers))
@@ -350,47 +332,61 @@ func (s *simulation) buildHybridTree() error {
 }
 
 // send wraps netmodel.Send with the message counters the figures need and
-// returns the arrival time.
+// returns the arrival time. The message is booked in the sender's cell: its
+// network view draws the jitter/loss randomness and its counters take the
+// tally, so per-cell ledgers partition the run's traffic exactly.
 func (s *simulation) send(from, to int, sizeKB float64, class netmodel.Class) time.Duration {
-	arrival := s.net.Send(s.nodes[from].ep, s.nodes[to].ep, sizeKB, class, s.eng.Now())
+	c := s.cell(from)
+	arrival := c.net.Send(s.nodes[from].ep, s.nodes[to].ep, sizeKB, class, c.eng.Now())
 	switch class {
 	case netmodel.ClassUpdate:
 		if to != 0 {
-			s.updateMsgsToServers++
+			c.updateMsgsToServers++
 		}
 		if from == 0 {
-			s.updateMsgsFromProvider++
+			c.updateMsgsFromProvider++
 		}
 	case netmodel.ClassLight:
-		s.lightMsgs++
+		c.lightMsgs++
 	}
 	return arrival
 }
 
-// deliver sends a message and schedules onArrival at the arrival time.
-// When an active partition separates the endpoints, the message is dropped
-// on the floor — it never enters the network, is not accounted, and the
-// sender only learns about it through its own timeout. Without partitions
-// deliver is exactly send + at.
+// deliver sends a message and schedules onArrival at the arrival time, in
+// the receiver's cell. A cross-cell arrival goes through the sharded
+// engine's barrier exchange; netmodel guarantees it lands at least one
+// propagation delay after the send, so it never violates the conservative
+// window. When an active partition separates the endpoints, the message is
+// dropped on the floor — it never enters the network, is not accounted, and
+// the sender only learns about it through its own timeout.
 func (s *simulation) deliver(from, to int, sizeKB float64, class netmodel.Class, onArrival func()) {
-	s.deliverAttempts++
-	if !s.net.Reachable(s.nodes[from].ep, s.nodes[to].ep) {
-		s.dropDelivery("partition")
+	c := s.cell(from)
+	c.deliverAttempts++
+	if !c.net.Reachable(s.nodes[from].ep, s.nodes[to].ep) {
+		s.dropDelivery(from, "partition")
 		return
 	}
-	s.deliverSends++
+	c.deliverSends++
 	arrival := s.send(from, to, sizeKB, class)
-	s.at(arrival, onArrival)
+	if s.sharded() {
+		// A lookahead violation is recorded per source cell and aborts Run
+		// at the next barrier, so the error need not propagate from here.
+		s.shEng.Send(s.cellOf[from], s.cellOf[to], arrival, onArrival) //nolint:errcheck
+		return
+	}
+	s.at(to, arrival, onArrival)
 }
 
-// dropDelivery records a dropped delivery attempt under its cause, keeping
-// the delivery-conservation ledger balanced: a drop without a recorded cause
-// is exactly the silent message loss the auditor exists to catch.
-func (s *simulation) dropDelivery(cause string) {
-	if s.deliverDrops == nil {
-		s.deliverDrops = make(map[string]int)
+// dropDelivery records a dropped delivery attempt under its cause in the
+// sender's cell, keeping the delivery-conservation ledger balanced: a drop
+// without a recorded cause is exactly the silent message loss the auditor
+// exists to catch.
+func (s *simulation) dropDelivery(from int, cause string) {
+	c := s.cell(from)
+	if c.deliverDrops == nil {
+		c.deliverDrops = make(map[string]int)
 	}
-	s.deliverDrops[cause]++
+	c.deliverDrops[cause]++
 }
 
 // setVersion advances a node's content and records ground-truth catch-up
@@ -399,7 +395,7 @@ func (s *simulation) setVersion(nd *node, v int) {
 	if v <= nd.version {
 		return
 	}
-	now := s.eng.Now()
+	now := s.now(nd.idx)
 	for id := nd.version + 1; id <= v && id < len(s.publishAt); id++ {
 		if at := s.publishAt[id]; at > 0 && now >= at {
 			nd.catchupSum += (now - at).Seconds()
@@ -418,8 +414,9 @@ func (s *simulation) setVersion(nd *node, v int) {
 		// The crash-recovered node caught up to the content the provider
 		// held when it came back: recovery complete.
 		nd.recovering = false
-		s.recoveries++
-		s.recoverySeconds = append(s.recoverySeconds, (now - nd.recoverAt).Seconds())
+		c := s.cell(nd.idx)
+		c.recoveries++
+		c.recoverySeconds = append(c.recoverySeconds, (now - nd.recoverAt).Seconds())
 	}
 }
 
@@ -440,7 +437,6 @@ func (s *simulation) invalidatedTo() bool {
 }
 
 func (s *simulation) run() (*Result, error) {
-	s.eng.SetMaxEvents(200_000_000)
 	s.schedulePublications()
 	if err := s.scheduleServerLoops(); err != nil {
 		return nil, err
@@ -451,30 +447,42 @@ func (s *simulation) run() (*Result, error) {
 	s.scheduleFailures()
 	s.scheduleFaults()
 	if s.cfg.Audit != nil {
+		// Serial runs only (withDefaults rejects Audit under sharding):
+		// sweeps observe global state, so they must be ordinary events of
+		// the one engine, never concurrent with a handler.
 		s.aud = newAuditor(s)
-		// Sweeps are ordinary engine events: they observe exact virtual
-		// timestamps and never run concurrently with a handler.
-		if _, err := s.eng.Every(s.aud.cadence, func(*sim.Engine) { s.aud.sweep() }); err != nil {
+		if _, err := s.cells[0].eng.Every(s.aud.cadence, func(*sim.Engine) { s.aud.sweep() }); err != nil {
 			return nil, fmt.Errorf("cdn: audit cadence: %w", err)
 		}
 	}
 	if s.cfg.Ctx != nil || s.cfg.OnTick != nil {
 		ctx := s.cfg.Ctx
-		s.eng.SetTick(0, func(e *sim.Engine) error {
-			if s.cfg.OnTick != nil {
-				s.cfg.OnTick(e.Now(), e.Processed())
-			}
-			if ctx != nil {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				default:
+		for ci, c := range s.cells {
+			// Every cell checks cancellation; only cell 0 reports progress
+			// (a sharded run would otherwise interleave reports from
+			// concurrent worker goroutines).
+			reportTick := ci == 0
+			c.eng.SetTick(0, func(e *sim.Engine) error {
+				if reportTick && s.cfg.OnTick != nil {
+					s.cfg.OnTick(e.Now(), e.Processed())
 				}
-			}
-			return nil
-		})
+				if ctx != nil {
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					default:
+					}
+				}
+				return nil
+			})
+		}
 	}
-	runErr := s.eng.Run(s.horizon)
+	var runErr error
+	if s.sharded() {
+		runErr = s.shEng.Run(s.horizon)
+	} else {
+		runErr = s.cells[0].eng.Run(s.horizon)
+	}
 	if s.aud != nil {
 		// One final sweep over the drained state; a violation found here
 		// (or mid-run, which stopped the engine early) outranks any engine
@@ -488,24 +496,20 @@ func (s *simulation) run() (*Result, error) {
 		return nil, fmt.Errorf("cdn: %w", runErr)
 	}
 
-	res := &Result{
-		Accounting:             s.net.Accounting(),
-		UpdateMsgsToServers:    s.updateMsgsToServers,
-		UpdateMsgsFromProvider: s.updateMsgsFromProvider,
-		LightMsgs:              s.lightMsgs,
-		TreeDepth:              s.tree.MaxDepth(),
-		Events:                 s.eng.Processed(),
-		DNSRedirects:           s.dnsRedirects,
-		DNSVisits:              s.dnsVisits,
-		Crashes:                s.crashes,
-		Recoveries:             s.recoveries,
-		RecoverySeconds:        s.recoverySeconds,
-		FailedVisits:           s.failedVisits,
-		UserFailovers:          s.userFailovers,
-		ServerReparents:        s.serverReparents,
-		TTLFallbacks:           s.ttlFallbacks,
-		StaleObservations:      s.staleObservations,
+	acc := s.cells[0].net.Accounting()
+	for _, c := range s.cells[1:] {
+		acc.Merge(c.net.Accounting())
 	}
+	events := s.cells[0].eng.Processed()
+	if s.sharded() {
+		events = s.shEng.Processed()
+	}
+	res := &Result{
+		Accounting: acc,
+		TreeDepth:  s.tree.MaxDepth(),
+		Events:     events,
+	}
+	s.mergeCellTallies(res)
 	if s.aud != nil {
 		res.AuditChecks = s.aud.checks
 	}
@@ -548,7 +552,10 @@ func (s *simulation) scheduleFailures() {
 	for i := range victims {
 		victims[i] = i + 1
 	}
-	rng := s.eng.Rand()
+	// Victim and time draws come from cell 0's stream (single-threaded
+	// setup, so sharded draws are deterministic too); each crash event is
+	// scheduled in the victim's own cell.
+	rng := s.rng(0)
 	for i := 0; i < count; i++ {
 		j := i + rng.Intn(n-i)
 		victims[i], victims[j] = victims[j], victims[i]
@@ -561,7 +568,7 @@ func (s *simulation) scheduleFailures() {
 	for _, v := range victims[:count] {
 		v := v
 		at := windowStart + time.Duration(rng.Int63n(int64(window)))
-		s.at(at, func() { s.failServer(v) })
+		s.at(v, at, func() { s.failServer(v) })
 	}
 }
 
@@ -571,28 +578,27 @@ func (s *simulation) scheduleFailures() {
 func (s *simulation) scheduleFaults() {
 	for _, e := range s.faultEvents {
 		e := e
-		var f func()
 		switch e.Op {
+		// Node-scoped faults execute in the affected node's cell.
 		case fault.OpServerDown:
-			f = func() { s.failServer(e.Server + 1) }
+			s.at(e.Server+1, e.At, func() { s.failServer(e.Server + 1) })
 		case fault.OpServerUp:
-			f = func() { s.recoverServer(e.Server + 1) }
+			s.at(e.Server+1, e.At, func() { s.recoverServer(e.Server + 1) })
 		case fault.OpProviderDown:
-			f = func() { s.providerDown = true }
+			s.at(0, e.At, func() { s.providerDown = true })
 		case fault.OpProviderUp:
-			f = func() { s.providerUp() }
+			s.at(0, e.At, func() { s.providerUp() })
+		// Network-scoped faults apply to every cell's network view at the
+		// fault instant, so all senders see them (serial: the one cell).
 		case fault.OpPartitionStart:
-			f = func() { s.net.SetPartitionGroup(e.Group, e.ISPs) }
+			s.eachNet(e.At, func(n *netmodel.Network) { n.SetPartitionGroup(e.Group, e.ISPs) })
 		case fault.OpPartitionEnd:
-			f = func() { s.net.ClearPartitionGroup(e.Group) }
+			s.eachNet(e.At, func(n *netmodel.Network) { n.ClearPartitionGroup(e.Group) })
 		case fault.OpOverloadStart:
-			f = func() { s.net.SetOverload(s.nodes[e.Server+1].ep.ID, e.Factor) }
+			s.eachNet(e.At, func(n *netmodel.Network) { n.SetOverload(s.nodes[e.Server+1].ep.ID, e.Factor) })
 		case fault.OpOverloadEnd:
-			f = func() { s.net.ClearOverload(s.nodes[e.Server+1].ep.ID) }
-		default:
-			continue
+			s.eachNet(e.At, func(n *netmodel.Network) { n.ClearOverload(s.nodes[e.Server+1].ep.ID) })
 		}
-		s.at(e.At, f)
 	}
 }
 
@@ -608,7 +614,7 @@ func (s *simulation) failServer(v int) {
 	}
 	nd.down = true
 	nd.gen++
-	s.crashes++
+	s.cell(v).crashes++
 	if s.auth != nil && s.cfg.Failover {
 		// Health-check feedback into request routing: the authoritative
 		// DNS stops handing out the dead server.
@@ -675,13 +681,18 @@ func (s *simulation) recoverServer(v int) {
 		s.alive[v] = true
 	}
 	nd.recovering = true
-	nd.syncTarget = s.nodes[0].version
-	nd.recoverAt = s.eng.Now()
+	// The provider's version at recovery time equals the newest published
+	// snapshot (both advance in the same publication event), and the cell's
+	// published copy tracks it locally — so the sync target needs no
+	// cross-cell read.
+	nd.syncTarget = s.cell(v).published
+	nd.recoverAt = s.now(v)
 	if nd.syncTarget == 0 {
 		// Nothing was ever published: recovery is trivially complete.
 		nd.recovering = false
-		s.recoveries++
-		s.recoverySeconds = append(s.recoverySeconds, 0)
+		c := s.cell(v)
+		c.recoveries++
+		c.recoverySeconds = append(c.recoverySeconds, 0)
 	}
 	s.restartServer(v)
 }
@@ -708,7 +719,7 @@ func (s *simulation) restartServer(i int) {
 		nd.regime = consistency.RegimeTTL
 		s.pollAttempt(i, 0)
 		gen := nd.gen
-		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 			if nd.down || nd.gen != gen {
 				return
 			}
@@ -741,7 +752,7 @@ func (s *simulation) resyncFetch(i int) {
 		if nd.down || nd.gen != gen || !nd.recovering || !s.cfg.Failover {
 			return
 		}
-		s.at(s.eng.Now()+s.cfg.ServerTTL, func() {
+		s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 			if nd.down || nd.gen != gen || !nd.recovering {
 				return
 			}
@@ -764,15 +775,17 @@ func (s *simulation) providerUp() {
 }
 
 // schedulePublications sets the provider's version at each publication time
-// and triggers method-specific dissemination.
+// and triggers method-specific dissemination. The publication schedule is
+// static, so every non-provider cell advances its own published copy with a
+// local marker event at the same instant — zero cross-cell traffic.
 func (s *simulation) schedulePublications() {
 	for _, u := range s.cfg.Updates {
 		v := u.Snapshot
 		at := s.publishAt[v]
-		s.eng.ScheduleAt(at, func(*sim.Engine) { //nolint:errcheck // at >= 0 by construction
+		s.cells[0].eng.ScheduleAt(at, func(*sim.Engine) { //nolint:errcheck // at >= 0 by construction
 			provider := s.nodes[0]
 			s.setVersion(provider, v)
-			s.published = v
+			s.cells[0].published = v
 			if s.providerDown {
 				// Origin outage: the content exists (ground truth
 				// advances) but cannot be disseminated until the
@@ -783,6 +796,10 @@ func (s *simulation) schedulePublications() {
 			}
 			s.disseminate()
 		})
+		for _, c := range s.cells[1:] {
+			c := c
+			c.eng.ScheduleAtCall(at, func() { c.published = v }) //nolint:errcheck // at >= 0 by construction
+		}
 	}
 }
 
@@ -908,13 +925,6 @@ func (s *simulation) notifySubscribers(src *node) {
 	}
 }
 
-// at schedules f at an absolute time, tolerating the horizon cutoff. It
-// rides the engine's thunk path, so the engine side of every protocol
-// continuation is allocation-free (f itself may still be a closure).
-func (s *simulation) at(t time.Duration, f func()) {
-	s.eng.ScheduleAtCall(t, f) //nolint:errcheck // t >= now by construction
-}
-
 // packNodeGen packs a node index and its generation into one scheduling
 // argument for the closure-free handlers below.
 func packNodeGen(i, gen int) int64 { return int64(i)<<32 | int64(uint32(gen)) }
@@ -922,10 +932,17 @@ func packNodeGen(i, gen int) int64 { return int64(i)<<32 | int64(uint32(gen)) }
 func unpackNodeGen(a int64) (i, gen int) { return int(a >> 32), int(uint32(a)) }
 
 // nearestLive returns the node index of the nearest live server to loc, or
-// -1 when every server is down. It backs user/cohort failover re-homing.
-func (s *simulation) nearestLive(loc geo.Point) int {
+// -1 when no candidate is live. It backs user/cohort failover re-homing.
+// Sharded runs restrict the search to near's cell — the regional catchment
+// an anycast CDN fails over inside — both because a user's lifetime must
+// stay in one cell and because another cell's down flags cannot be read
+// mid-window. The cell filter comes before the down read for that reason.
+func (s *simulation) nearestLive(near int, loc geo.Point) int {
 	best, bestD := -1, 0.0
 	for i := 1; i < len(s.nodes); i++ {
+		if s.sharded() && s.cellOf[i] != s.cellOf[near] {
+			continue
+		}
 		if s.nodes[i].down {
 			continue
 		}

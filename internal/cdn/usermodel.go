@@ -76,18 +76,21 @@ func (a *userAgg) avg() float64 {
 // previously seen, the Figure 24 metric), plus the stale-serve counter
 // against the newest published snapshot. The per-user fields advance by one
 // observation (every represented user saw the same thing); the global
-// counters advance by weight.
-func (s *simulation) observeAgg(a *userAgg, weight, v int) {
+// counters advance by weight. The observation happens at node i — the
+// visited server — whose cell supplies the clock, the published watermark,
+// and the stale counter.
+func (s *simulation) observeAgg(i int, a *userAgg, weight, v int) {
+	c := s.cell(i)
 	a.observations++
-	if v < s.published {
-		s.staleObservations += weight
+	if v < c.published {
+		c.staleObservations += weight
 	}
 	if v < a.maxSeen {
 		a.inconsistent++
 		return
 	}
 	if v > a.maxSeen {
-		now := s.eng.Now()
+		now := c.eng.Now()
 		for id := a.maxSeen + 1; id <= v && id < len(s.publishAt); id++ {
 			if at := s.publishAt[id]; at > 0 && now >= at {
 				a.catchupSum += (now - at).Seconds()
@@ -106,6 +109,7 @@ func (s *simulation) accountVisits(nd *node, weight int) {
 	if !s.cfg.AccountVisits {
 		return
 	}
-	s.net.Account(nd.ep, s.cfg.LightSizeKB, netmodel.ClassContent, weight)
-	s.visitsAccounted += weight
+	c := s.cell(nd.idx)
+	c.net.Account(nd.ep, s.cfg.LightSizeKB, netmodel.ClassContent, weight)
+	c.visitsAccounted += weight
 }

@@ -61,7 +61,9 @@ func (m *explicitUsers) schedule() error {
 						period:     period,
 					}
 					m.users = append(m.users, u)
-					s.eng.ScheduleAfterFunc(spec.Offset(), visitEvent, m, int64(u.idx))
+					// The user lives in its home server's cell; failover
+					// re-homes within the cell, so the loop never migrates.
+					s.cell(u.homeSrv).eng.ScheduleAfterFunc(spec.Offset(), visitEvent, m, int64(u.idx))
 				}
 			}
 		}
@@ -83,8 +85,8 @@ func (m *explicitUsers) schedule() error {
 				}
 			}
 			m.users = append(m.users, u)
-			offset := time.Duration(s.eng.Rand().Int63n(int64(s.cfg.UserStartMax)))
-			s.eng.ScheduleAfterFunc(offset, visitEvent, m, int64(u.idx))
+			offset := time.Duration(s.rng(u.homeSrv).Int63n(int64(s.cfg.UserStartMax)))
+			s.cell(u.homeSrv).eng.ScheduleAfterFunc(offset, visitEvent, m, int64(u.idx))
 		}
 	}
 	return nil
@@ -112,7 +114,7 @@ func (m *explicitUsers) visit(u *user) {
 		// pinned user keeps failing, matching the paper's observation
 		// that cached IPs of failed servers keep attracting requests
 		// (Section 3.4.5). With Failover the user reacts immediately.
-		s.failedVisits++
+		s.cell(target).failedVisits++
 		if s.cfg.Failover {
 			m.failoverUser(u)
 		}
@@ -121,36 +123,36 @@ func (m *explicitUsers) visit(u *user) {
 		// method: the server polls, switches back to TTL, and the user
 		// receives the fresh content when it lands.
 		s.selfAdaptiveVisitPoll(target, func() {
-			s.observeAgg(&u.agg, 1, s.nodes[target].version)
+			s.observeAgg(target, &u.agg, 1, s.nodes[target].version)
 		})
 	case s.cfg.Method == consistency.MethodInvalidation && !nd.valid:
 		// Invalidation: the visit triggers the fetch; the user waits
 		// for the refreshed content.
 		s.triggerFetch(target, func() {
-			s.observeAgg(&u.agg, 1, s.nodes[target].version)
+			s.observeAgg(target, &u.agg, 1, s.nodes[target].version)
 		})
 	case s.cfg.Method == consistency.MethodRegime:
 		if nd.rc != nil {
-			nd.rc.ObserveVisit(s.eng.Now())
+			nd.rc.ObserveVisit(s.now(target))
 		}
 		if !nd.valid {
 			s.triggerFetch(target, func() {
-				s.observeAgg(&u.agg, 1, s.nodes[target].version)
+				s.observeAgg(target, &u.agg, 1, s.nodes[target].version)
 			})
 		} else {
-			s.observeAgg(&u.agg, 1, nd.version)
+			s.observeAgg(target, &u.agg, 1, nd.version)
 		}
 	case s.cfg.Method == consistency.MethodLease && !s.leaseValid(target):
 		// Cooperative lease expired: the visit renews it, and the user
 		// receives the refreshed content with the new lease.
 		s.renewLease(target, func() {
-			s.observeAgg(&u.agg, 1, s.nodes[target].version)
+			s.observeAgg(target, &u.agg, 1, s.nodes[target].version)
 		})
 	default:
-		s.observeAgg(&u.agg, 1, nd.version)
+		s.observeAgg(target, &u.agg, 1, nd.version)
 	}
 
-	s.eng.ScheduleAfterFunc(u.period, visitEvent, m, int64(u.idx))
+	s.cell(u.homeSrv).eng.ScheduleAfterFunc(u.period, visitEvent, m, int64(u.idx))
 }
 
 // routeVisit picks the serving server for this visit.
@@ -158,15 +160,18 @@ func (m *explicitUsers) routeVisit(u *user) int {
 	s := m.s
 	switch {
 	case u.resolver != nil:
-		target, _ := u.resolver.Lookup(s.eng.Now())
-		s.dnsVisits++
+		// DNS routing is serial-only (gated in withDefaults), so the home
+		// cell is the one cell.
+		c := s.cell(u.homeSrv)
+		target, _ := u.resolver.Lookup(c.eng.Now())
+		c.dnsVisits++
 		if u.lastServer >= 0 && target != u.lastServer {
-			s.dnsRedirects++
+			c.dnsRedirects++
 		}
 		u.lastServer = target
 		return target
 	case s.cfg.UserSwitchEveryVisit && len(s.nodes) > 2:
-		return 1 + s.eng.Rand().Intn(len(s.nodes)-1)
+		return 1 + s.rng(u.homeSrv).Intn(len(s.nodes)-1)
 	default:
 		return u.homeSrv
 	}
@@ -181,15 +186,15 @@ func (m *explicitUsers) failoverUser(u *user) {
 	s := m.s
 	if u.resolver != nil {
 		u.resolver.Flush()
-		s.userFailovers++
+		s.cell(u.homeSrv).userFailovers++
 		return
 	}
 	if s.cfg.UserSwitchEveryVisit {
 		return // the next visit picks a random server anyway
 	}
-	if best := s.nearestLive(u.loc); best > 0 {
+	if best := s.nearestLive(u.homeSrv, u.loc); best > 0 {
+		s.cell(u.homeSrv).userFailovers++
 		u.homeSrv = best
-		s.userFailovers++
 	}
 }
 

@@ -230,6 +230,25 @@ func WithAudit(cadence time.Duration) Option {
 	return func(c *cdn.Config) { c.Audit = &cdn.AuditOptions{Cadence: cadence} }
 }
 
+// WithShards runs the simulation on the sharded multi-core engine with n
+// worker goroutines draining a fixed partition of the server topology
+// (conservative time-window synchronization; see internal/sim.Sharded).
+// Results are a pure function of (seed, partition): any n >= 1 produces
+// bit-identical output, so the worker count is free to follow the machine.
+// Serial-only options (DNS routing, per-visit switching, the runtime
+// auditor, multicast repair) are rejected under sharding.
+func WithShards(n int) Option {
+	return func(c *cdn.Config) { c.Shards = n }
+}
+
+// WithShardCells fixes the partition granularity for WithShards: the server
+// topology is split into this many cells (default 8). The cell count — not
+// the worker count — is part of the simulation's identity: changing it
+// changes the partition and therefore the (still deterministic) results.
+func WithShardCells(n int) Option {
+	return func(c *cdn.Config) { c.ShardCells = n }
+}
+
 // WithTick installs a progress probe invoked from the event loop at a fixed
 // event stride with the current virtual time and processed-event count; it
 // backs stuck-job watchdogs and must not touch simulation state.

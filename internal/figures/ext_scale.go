@@ -77,15 +77,23 @@ func ExtScale(scale SimScale) (*Table, error) {
 		wall   time.Duration
 		visits int
 	}
+	extra := []core.Option{
+		core.WithUserModel(cdn.UserModelCohort),
+		core.WithVisitAccounting(),
+	}
+	if scale.Shards > 0 {
+		// Sharded engine: one run spreads over scale.Shards workers. The
+		// worker count never changes the table (shard-count invariance);
+		// the numbers differ from the serial engine's only because the two
+		// draw from different per-cell RNG streams.
+		extra = append(extra, core.WithShards(scale.Shards))
+	}
 	perfs := make([]perf, len(totals)*len(extScaleSystems))
 	results, err := collectRuns(t, scale.Parallel, len(perfs), func(i int) (*cdn.Result, error) {
 		pi, si := i/len(extScaleSystems), i%len(extScaleSystems)
 		start := time.Now()
-		res, err := core.Run(extScaleSystems[si], s5.opts(
-			core.WithPopulation(pops[pi]),
-			core.WithUserModel(cdn.UserModelCohort),
-			core.WithVisitAccounting(),
-		)...)
+		res, err := core.Run(extScaleSystems[si], s5.opts(append(
+			[]core.Option{core.WithPopulation(pops[pi])}, extra...)...)...)
 		if err != nil {
 			return nil, fmt.Errorf("figures: ext-scale: %s at %d users: %w",
 				extScaleSystems[si].Name, totals[pi], err)

@@ -475,6 +475,29 @@ func newAccounting() Accounting {
 	}
 }
 
+// Merge folds other's totals into a, per class and per sender. It combines
+// the independent per-shard ledgers of a partitioned simulation into one
+// run-level snapshot: every message is booked in exactly one shard (by its
+// sender's owner cell), so summing is exact.
+func (a Accounting) Merge(other Accounting) {
+	for c, t := range other.ByClass {
+		cur := a.ByClass[c]
+		cur.Messages += t.Messages
+		cur.KB += t.KB
+		cur.Km += t.Km
+		cur.KmKB += t.KmKB
+		a.ByClass[c] = cur
+	}
+	for id, t := range other.BySender {
+		cur := a.BySender[id]
+		cur.Messages += t.Messages
+		cur.KB += t.KB
+		cur.Km += t.Km
+		cur.KmKB += t.KmKB
+		a.BySender[id] = cur
+	}
+}
+
 // Total sums all classes.
 func (a Accounting) Total() ClassTotals {
 	var t ClassTotals

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -170,5 +171,170 @@ func TestProbeIsSafeWithoutPool(t *testing.T) {
 	m.SetProbe("x")
 	if m.Probe() != "" {
 		t.Error("zero-value Metrics stored a probe")
+	}
+}
+
+// Regression for the watchdog/completion race: time.AfterFunc's Stop does
+// not wait for a callback already in flight, so a job that finished right at
+// the StuckAfter boundary could still be reported stuck afterwards. The fix
+// guarantees a stuck report can never start once the job's execute has
+// returned — and result delivery happens after that — so a report observed
+// after a job's result was emitted is a bug, not bad luck.
+func TestWatchdogNeverReportsCompletedJob(t *testing.T) {
+	const n = 300
+	const stuckAfter = 2 * time.Millisecond
+
+	var delivered [n]atomic.Bool
+	var mu sync.Mutex
+	var violations []string
+
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(*Metrics) (int, error) {
+			// Spin to exactly the watchdog boundary, so the timer firing
+			// and the job completing race on every single job.
+			start := time.Now()
+			for time.Since(start) < stuckAfter {
+			}
+			return i, nil
+		}}
+	}
+	err := ForEachOrdered(jobs, Options{
+		Workers:    4,
+		StuckAfter: stuckAfter,
+		OnStuck: func(id string, _ time.Duration, _ string, _ []byte) {
+			var idx int
+			fmt.Sscanf(id, "j%d", &idx)
+			if delivered[idx].Load() {
+				mu.Lock()
+				violations = append(violations, id)
+				mu.Unlock()
+			}
+		},
+	}, func(i int, r Result[int]) error {
+		if r.Err != nil {
+			t.Errorf("job %d failed: %v", i, r.Err)
+		}
+		delivered[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-fix no report can outlive its job, so any straggler from the
+	// pre-fix race fires within this grace window and is caught below
+	// instead of panicking after the test returns.
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(violations) > 0 {
+		t.Fatalf("%d completed jobs reported stuck (e.g. %s)", len(violations), violations[0])
+	}
+}
+
+// Satellite coverage for the nesting case the package docs promise is safe:
+// the outer pool's context is cancelled from inside a *nested* Collect worker
+// mid-dispatch. The in-flight outer job (including its whole inner fan-out)
+// must complete untouched; undispatched outer jobs must report ErrCanceled
+// with the cause preserved; inner pools never observe the outer context.
+func TestForEachOrderedCancelMidDispatchNestedCollect(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const outer, inner = 8, 16
+	wantSum := func(i int) int {
+		sum := 0
+		for k := 0; k < inner; k++ {
+			sum += i*inner + k
+		}
+		return sum
+	}
+	jobs := make([]Job[int], outer)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("outer%d", i), Run: func(*Metrics) (int, error) {
+			parts, err := Collect(4, inner, func(k int) (int, error) {
+				if i == 0 && k == inner/2 {
+					cancel() // lands mid-dispatch, from a nested worker goroutine
+				}
+				return i*inner + k, nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			sum := 0
+			for _, p := range parts {
+				sum += p
+			}
+			return sum, nil
+		}}
+	}
+	var emitted int
+	err := ForEachOrdered(jobs, Options{Workers: 1, Context: ctx}, func(idx int, r Result[int]) error {
+		if idx != emitted {
+			t.Errorf("emit order broken: got %d, want %d", idx, emitted)
+		}
+		emitted++
+		if idx == 0 {
+			if r.Err != nil || r.Value != wantSum(0) {
+				t.Errorf("cancelling job's own fan-out was disturbed: %+v", r)
+			}
+			return nil
+		}
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("job %d: err = %v, want ErrCanceled", idx, r.Err)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: cancellation cause not preserved: %v", idx, r.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != outer {
+		t.Fatalf("emitted %d results, want %d (cancelled jobs still emit)", emitted, outer)
+	}
+
+	// Same shape with parallel outer workers: results are either a correct
+	// full fan-out sum or a cancellation — never a partial sum — and the
+	// pool still emits every result in order.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	jobs2 := make([]Job[int], outer)
+	for i := range jobs2 {
+		i := i
+		jobs2[i] = Job[int]{ID: fmt.Sprintf("p%d", i), Run: func(*Metrics) (int, error) {
+			parts, err := Collect(4, inner, func(k int) (int, error) {
+				if i == 2 && k == 0 {
+					cancel2()
+				}
+				return i*inner + k, nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			sum := 0
+			for _, p := range parts {
+				sum += p
+			}
+			return sum, nil
+		}}
+	}
+	canceled := 0
+	for idx, r := range All(jobs2, Options{Workers: 3, Context: ctx2}) {
+		switch {
+		case r.Err == nil:
+			if r.Value != wantSum(idx) {
+				t.Errorf("job %d: partial fan-out sum %d, want %d", idx, r.Value, wantSum(idx))
+			}
+		case errors.Is(r.Err, ErrCanceled):
+			canceled++
+		default:
+			t.Errorf("job %d: unexpected error %v", idx, r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("cancellation from a nested worker never skipped any outer job")
 	}
 }

@@ -112,7 +112,9 @@ type Options struct {
 	// OnStuck must be non-nil for it to arm.
 	StuckAfter time.Duration
 	// OnStuck receives watchdog reports. It runs on the watchdog's timer
-	// goroutine, possibly concurrent with emit and other jobs.
+	// goroutine, concurrent with the still-running job and with other jobs.
+	// A report for a job always completes before that job's result is
+	// delivered: a job that already finished is never reported stuck.
 	OnStuck func(jobID string, elapsed time.Duration, probe string, stacks []byte)
 }
 
@@ -258,12 +260,33 @@ func execute[T any](j Job[T], opts Options) (r Result[T]) {
 	if opts.StuckAfter > 0 && opts.OnStuck != nil {
 		m := &r.Metrics // the watchdog reads the probe the job writes
 		start := time.Now()
+		// done guards OnStuck against the completion race: time.AfterFunc's
+		// Stop does not wait for a callback already in flight, so without
+		// the guard a job that finished right at the StuckAfter boundary
+		// could still be reported stuck afterwards. Marking done under the
+		// same mutex the callback takes makes the guarantee strict: once
+		// the deferred stop has run, no new report can start, and a report
+		// already past the guard completes before execute returns.
+		var (
+			wmu  sync.Mutex
+			done bool
+		)
 		w := time.AfterFunc(opts.StuckAfter, func() {
+			wmu.Lock()
+			defer wmu.Unlock()
+			if done {
+				return
+			}
 			buf := make([]byte, 1<<20)
 			n := runtime.Stack(buf, true)
 			opts.OnStuck(j.ID, time.Since(start), m.Probe(), buf[:n])
 		})
-		defer w.Stop()
+		defer func() {
+			wmu.Lock()
+			done = true
+			wmu.Unlock()
+			w.Stop()
+		}()
 	}
 	allocStart := heapAllocBytes()
 	start := time.Now()

@@ -318,7 +318,11 @@ func (e *Engine) maybeCompact() {
 	}
 }
 
-// Stop makes Run return after the current handler completes.
+// Stop makes the current Run return after the current handler completes.
+// Calling Stop before Run makes that Run return immediately, before
+// processing any event — a cancellation that races engine start is never
+// lost. Each Run (or RunUntil) consumes the pending stop on return, so a
+// stopped engine can be resumed by calling Run again.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of live (not cancelled) scheduled events.
@@ -328,12 +332,60 @@ func (e *Engine) Pending() int { return e.live }
 // it to assert that cancel churn stays bounded.
 func (e *Engine) queueLen() int { return len(e.queue) }
 
+// PeekTime reports the timestamp of the earliest live scheduled event,
+// skimming any cancellation tombstones off the top of the heap on the way.
+// ok is false when no live events remain. The windowed (sharded) executor
+// uses it to pick the next synchronization window's start.
+func (e *Engine) PeekTime() (at time.Duration, ok bool) {
+	for len(e.queue) > 0 {
+		top := &e.queue[0]
+		if e.slotGen[top.slot] == top.gen {
+			return top.at, true
+		}
+		e.popTop()
+		e.dead--
+	}
+	return 0, false
+}
+
 // Run executes events in timestamp order until the queue drains, the horizon
 // is passed, Stop is called, or the event cap is hit. A horizon of 0 means
 // run until the queue is empty. Events scheduled exactly at the horizon
 // still fire; later ones remain queued.
+//
+// When the event cap is hit, Run returns ErrEventLimit before consuming the
+// limiting event: Processed() equals the cap, Now() is the timestamp of the
+// last event that actually ran, and the unrun event is still Pending — the
+// post-mortem state is consistent.
 func (e *Engine) Run(horizon time.Duration) error {
-	e.stopped = false
+	return e.run(horizon, runInclusive)
+}
+
+// RunUntil executes events with timestamps strictly before end, then
+// advances the clock to end. It is the window-execution primitive of the
+// sharded engine: a conservative synchronizer runs each shard up to the
+// window boundary, exchanges cross-shard events, and repeats. Stop, tick,
+// and the event cap behave exactly as in Run.
+func (e *Engine) RunUntil(end time.Duration) error {
+	if end < e.now {
+		return fmt.Errorf("sim: RunUntil(%v) before now %v", end, e.now)
+	}
+	return e.run(end, runExclusive)
+}
+
+// run bounds for the shared event loop: Run fires events at the limit
+// (horizon inclusive, 0 = none), RunUntil stops strictly before it.
+type runBound int
+
+const (
+	runInclusive runBound = iota
+	runExclusive
+)
+
+func (e *Engine) run(limit time.Duration, bound runBound) error {
+	// A pre-armed Stop (called before Run) halts immediately; any stop is
+	// consumed when the run returns so a later Run can resume.
+	defer func() { e.stopped = false }()
 	for len(e.queue) > 0 && !e.stopped {
 		top := &e.queue[0]
 		if e.slotGen[top.slot] != top.gen {
@@ -342,11 +394,20 @@ func (e *Engine) Run(horizon time.Duration) error {
 			e.dead--
 			continue
 		}
-		if horizon > 0 && top.at > horizon {
-			// Advance the clock to the horizon so callers observe a
-			// consistent end time.
-			e.now = horizon
-			return nil
+		if bound == runInclusive {
+			if limit > 0 && top.at > limit {
+				// Advance the clock to the horizon so callers observe a
+				// consistent end time.
+				e.now = limit
+				return nil
+			}
+		} else if top.at >= limit {
+			break
+		}
+		if e.maxEvents > 0 && e.processed >= e.maxEvents {
+			// Cap check before the event is consumed: the limiting event
+			// stays queued and the clock stays at the last-run event.
+			return ErrEventLimit
 		}
 		it := *top // copy out: the handler may grow or reorder the heap
 		p := e.payloads[it.slot]
@@ -354,9 +415,6 @@ func (e *Engine) Run(horizon time.Duration) error {
 		e.retire(it.slot)
 		e.now = it.at
 		e.processed++
-		if e.maxEvents > 0 && e.processed > e.maxEvents {
-			return ErrEventLimit
-		}
 		if e.tick != nil && e.processed%e.tickStride == 0 {
 			if err := e.tick(e); err != nil {
 				return err
@@ -368,8 +426,8 @@ func (e *Engine) Run(horizon time.Duration) error {
 			p.fn(e, p.recv, p.arg)
 		}
 	}
-	if horizon > 0 && e.now < horizon {
-		e.now = horizon
+	if limit > 0 && e.now < limit {
+		e.now = limit
 	}
 	return nil
 }

@@ -276,3 +276,122 @@ func BenchmarkSchedulePop(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+func TestEventLimitStateConsistent(t *testing.T) {
+	// Regression: the cap used to be checked after the limiting event was
+	// popped, retired, and had advanced the clock — leaving Processed one
+	// past the cap, the unrun event gone from Pending, and Now at a time
+	// no executed event reached. The cap must be checked before the event
+	// is consumed.
+	e := NewEngine(1)
+	e.SetMaxEvents(3)
+	var fired []time.Duration
+	for i := 1; i <= 5; i++ {
+		at := time.Duration(i) * time.Second
+		if _, err := e.ScheduleAt(at, func(en *Engine) { fired = append(fired, en.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0); err != ErrEventLimit {
+		t.Fatalf("Run = %v, want ErrEventLimit", err)
+	}
+	if got := e.Processed(); got != 3 {
+		t.Errorf("Processed = %d, want 3 (the cap)", got)
+	}
+	if got := e.Now(); got != 3*time.Second {
+		t.Errorf("Now = %v, want 3s (last event that actually ran)", got)
+	}
+	if got := e.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2 (the limiting event must stay queued)", got)
+	}
+	// The post-limit state is resumable: lifting the cap runs the rest.
+	e.SetMaxEvents(0)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second, 5 * time.Second}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestStopBeforeRun(t *testing.T) {
+	// Regression: Run used to clear the stopped flag on entry, so a Stop
+	// racing engine start was silently ignored. A pre-armed Stop must make
+	// the next Run return immediately; the stop is consumed, so a later
+	// Run resumes normally.
+	e := NewEngine(1)
+	fired := 0
+	e.ScheduleAfter(time.Second, func(*Engine) { fired++ })
+	e.Stop()
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("fired = %d, want 0: pre-armed Stop was ignored", fired)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 after resumed Run", fired)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime ok on empty engine")
+	}
+	early := e.ScheduleAfter(time.Second, func(*Engine) {})
+	e.ScheduleAfter(3*time.Second, func(*Engine) {})
+	if at, ok := e.PeekTime(); !ok || at != time.Second {
+		t.Fatalf("PeekTime = %v, %v; want 1s, true", at, ok)
+	}
+	// Cancelling the head leaves a tombstone; PeekTime must skim past it.
+	e.Cancel(early)
+	if at, ok := e.PeekTime(); !ok || at != 3*time.Second {
+		t.Fatalf("PeekTime after cancel = %v, %v; want 3s, true", at, ok)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if _, err := e.ScheduleAt(at, func(en *Engine) { fired = append(fired, en.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strictly-before semantics: the event at exactly the boundary stays.
+	if err := e.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != time.Second {
+		t.Fatalf("fired = %v, want [1s]", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s (clock advances to the window end)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Going backwards is a causality error.
+	if err := e.RunUntil(time.Second); err == nil {
+		t.Error("RunUntil before now succeeded")
+	}
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || e.Now() != 10*time.Second {
+		t.Fatalf("fired = %v, Now = %v; want 3 events and 10s", fired, e.Now())
+	}
+}

@@ -1,0 +1,301 @@
+// Conservative parallel execution: a Sharded engine runs several independent
+// Engines ("cells"), one per topology partition, under a time-window barrier.
+//
+// The synchronizer is the classic conservative (CMB-style) scheme specialized
+// to a static lookahead: every cross-cell interaction has a known minimum
+// latency L (the minimum network propagation delay between endpoints in
+// different cells, computed at partition time), so an event executing at or
+// after time m can only schedule work in another cell at or after m+L. Each
+// round therefore picks the globally earliest pending event time m, runs every
+// cell independently up to the window boundary m+L, and only then exchanges
+// the cross-cell sends buffered during the window.
+//
+// Determinism does not depend on how many worker goroutines execute the
+// window: cells never share mutable state mid-window (each owns its heap, its
+// RNG, and its outbox), and the buffered cross-cell sends are merged in a
+// total order — (timestamp, source cell, per-source sequence) — by a single
+// goroutine at the barrier. Results are a pure function of (seed, partition);
+// the worker count only changes wall-clock time.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ShardedConfig configures a Sharded engine.
+type ShardedConfig struct {
+	// Seed is the base seed; each cell's RNG is seeded with
+	// CellSeed(Seed, cell) so cells draw independent, reproducible streams.
+	Seed int64
+	// Cells is the number of partition cells (independent event heaps).
+	// The partition is part of the simulation's identity: changing Cells
+	// changes results; changing Workers never does.
+	Cells int
+	// Lookahead is the conservative window length: the minimum virtual-time
+	// latency of any cross-cell interaction. Must be positive. A cross-cell
+	// send scheduled to arrive sooner than the current window's end is a
+	// lookahead violation and aborts the run.
+	Lookahead time.Duration
+	// Workers bounds the goroutines executing cells within a window; values
+	// outside [1, Cells] are clamped.
+	Workers int
+	// MaxEventsPerCell caps each cell's executed events (0 = no cap).
+	MaxEventsPerCell uint64
+}
+
+// ErrLookaheadViolation reports a cross-cell send scheduled to arrive before
+// the end of the window in which it was issued — the model's minimum
+// cross-cell latency (the configured Lookahead) was overstated.
+var ErrLookaheadViolation = errors.New("sim: cross-cell send inside the conservative window")
+
+// crossEvent is one buffered cross-cell send, keyed for the deterministic
+// barrier merge.
+type crossEvent struct {
+	at  time.Duration
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// Sharded executes a fixed partition of cells under a conservative
+// time-window barrier. Construct with NewSharded, populate the cells (during
+// setup, or from events running inside them), then call Run once.
+type Sharded struct {
+	cells     []*Engine
+	lookahead time.Duration
+	workers   int
+
+	// Per-source-cell outboxes and sequence counters. During a window each
+	// is touched only by the goroutine running that cell, so no locking is
+	// needed; the barrier's WaitGroup provides the happens-before edges.
+	outbox  [][]crossEvent
+	outSeq  []uint64
+	sendErr []error
+
+	// windowEnd is the current window's boundary, written by the
+	// coordinator before workers start and read by Send for lookahead
+	// validation.
+	windowEnd time.Duration
+}
+
+// CellSeed derives cell's deterministic RNG seed from the base seed
+// (splitmix64 over the pair, so nearby seeds and cell indices decorrelate).
+func CellSeed(seed int64, cell int) int64 {
+	z := uint64(seed) + uint64(cell+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// NewSharded builds a Sharded engine with cfg.Cells fresh cells.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("sim: sharded engine needs >= 1 cell, got %d", cfg.Cells)
+	}
+	if cfg.Lookahead <= 0 {
+		return nil, fmt.Errorf("sim: non-positive lookahead %v", cfg.Lookahead)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Cells {
+		workers = cfg.Cells
+	}
+	sh := &Sharded{
+		cells:     make([]*Engine, cfg.Cells),
+		lookahead: cfg.Lookahead,
+		workers:   workers,
+		outbox:    make([][]crossEvent, cfg.Cells),
+		outSeq:    make([]uint64, cfg.Cells),
+		sendErr:   make([]error, cfg.Cells),
+	}
+	for i := range sh.cells {
+		sh.cells[i] = NewEngine(CellSeed(cfg.Seed, i))
+		sh.cells[i].SetMaxEvents(cfg.MaxEventsPerCell)
+	}
+	return sh, nil
+}
+
+// Cell returns cell i's engine, for setup-time scheduling and for handlers
+// running inside that cell. Scheduling on another cell's engine from a
+// running handler is a data race; cross-cell work must go through Send.
+func (sh *Sharded) Cell(i int) *Engine { return sh.cells[i] }
+
+// Cells reports the number of partition cells.
+func (sh *Sharded) Cells() int { return len(sh.cells) }
+
+// Lookahead reports the conservative window length.
+func (sh *Sharded) Lookahead() time.Duration { return sh.lookahead }
+
+// Workers reports the clamped worker count.
+func (sh *Sharded) Workers() int { return sh.workers }
+
+// Processed sums executed events across cells.
+func (sh *Sharded) Processed() uint64 {
+	var n uint64
+	for _, c := range sh.cells {
+		n += c.Processed()
+	}
+	return n
+}
+
+// Send schedules fn to run in cell dst at absolute virtual time at. It must
+// be called from the goroutine currently executing cell src (or from
+// single-threaded setup before Run). A same-cell send schedules directly; a
+// cross-cell send is buffered in src's outbox and delivered at the next
+// window barrier, so at must not precede the current window's end — that
+// would mean the configured lookahead overstated the model's minimum
+// cross-cell latency. The violation is returned and also aborts Run at the
+// barrier, so fire-and-forget callers are still safe.
+func (sh *Sharded) Send(src, dst int, at time.Duration, fn func()) error {
+	if src == dst {
+		_, err := sh.cells[dst].ScheduleAtCall(at, fn)
+		return err
+	}
+	if at < sh.windowEnd {
+		err := fmt.Errorf("%w: cell %d -> %d at %v, window ends %v",
+			ErrLookaheadViolation, src, dst, at, sh.windowEnd)
+		if sh.sendErr[src] == nil {
+			sh.sendErr[src] = err
+		}
+		return err
+	}
+	sh.outSeq[src]++
+	sh.outbox[src] = append(sh.outbox[src], crossEvent{
+		at: at, src: src, seq: sh.outSeq[src], dst: dst, fn: fn,
+	})
+	return nil
+}
+
+// flush delivers every buffered cross-cell event in (at, src, seq) order.
+// Single-threaded: runs only between windows. Insertion order is total and
+// deterministic, so each destination engine assigns the same FIFO sequence
+// numbers regardless of worker count or goroutine interleaving.
+func (sh *Sharded) flush() error {
+	n := 0
+	for _, box := range sh.outbox {
+		n += len(box)
+	}
+	if n == 0 {
+		return nil
+	}
+	all := make([]crossEvent, 0, n)
+	for _, box := range sh.outbox {
+		all = append(all, box...)
+	}
+	for i := range sh.outbox {
+		sh.outbox[i] = sh.outbox[i][:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].src != all[j].src {
+			return all[i].src < all[j].src
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, ev := range all {
+		if _, err := sh.cells[ev.dst].ScheduleAtCall(ev.at, ev.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes all cells to completion (or to the horizon, inclusive, when
+// horizon > 0), window by window. On return every cell's clock is at the
+// horizon (when one is set) or at its last event. Run reports the first
+// error by cell index — deterministic regardless of which worker hit it
+// first.
+func (sh *Sharded) Run(horizon time.Duration) error {
+	work := make(chan int, len(sh.cells))
+	type cellDone struct {
+		idx int
+		err error
+	}
+	done := make(chan cellDone, len(sh.cells))
+	if sh.workers > 1 {
+		for w := 0; w < sh.workers; w++ {
+			go func() {
+				for idx := range work {
+					// The channel receive orders this read of windowEnd
+					// after the coordinator's write.
+					done <- cellDone{idx, sh.cells[idx].RunUntil(sh.windowEnd)}
+				}
+			}()
+		}
+		defer close(work)
+	}
+
+	errs := make([]error, len(sh.cells))
+	for {
+		if err := sh.flush(); err != nil {
+			return err
+		}
+		var m time.Duration
+		none := true
+		for _, c := range sh.cells {
+			if t, ok := c.PeekTime(); ok && (none || t < m) {
+				m, none = t, false
+			}
+		}
+		if none || (horizon > 0 && m > horizon) {
+			break
+		}
+		// The window [m, m+L): any event executing at u >= m can only
+		// produce a cross-cell arrival at u+L >= m+L, i.e. in a later
+		// window — so cells are causally independent inside it. Events
+		// exactly at the horizon still fire (matching Engine.Run), hence
+		// the +1ns clamp.
+		windowEnd := m + sh.lookahead
+		if horizon > 0 && windowEnd > horizon {
+			windowEnd = horizon + 1
+		}
+		sh.windowEnd = windowEnd
+
+		if sh.workers == 1 {
+			for i, c := range sh.cells {
+				errs[i] = c.RunUntil(windowEnd)
+			}
+		} else {
+			for i := range sh.cells {
+				work <- i
+			}
+			for range sh.cells {
+				d := <-done
+				errs[d.idx] = d.err
+			}
+		}
+		for i, err := range errs {
+			if err == nil {
+				err = sh.sendErr[i]
+			}
+			if err != nil {
+				return fmt.Errorf("sim: cell %d: %w", i, err)
+			}
+		}
+	}
+	if err := sh.flush(); err != nil { // nothing pending unless the horizon cut the run short
+		return err
+	}
+	if horizon > 0 {
+		for _, c := range sh.cells {
+			if c.Now() < horizon {
+				if err := c.Run(horizon); err != nil {
+					return err
+				}
+			} else if c.now > horizon {
+				// The final window's +1ns clamp overshot; timestamps are
+				// integral, so no event can sit between horizon and now.
+				c.now = horizon
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestCellSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for cell := 0; cell < 16; cell++ {
+			s := CellSeed(seed, cell)
+			if seen[s] {
+				t.Fatalf("CellSeed(%d, %d) = %d collides", seed, cell, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(ShardedConfig{Cells: 0, Lookahead: time.Second}); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: 0}); err == nil {
+		t.Error("zero lookahead accepted")
+	}
+	sh, err := NewSharded(ShardedConfig{Cells: 3, Lookahead: time.Second, Workers: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Workers() != 3 {
+		t.Errorf("Workers = %d, want clamp to 3 cells", sh.Workers())
+	}
+}
+
+func TestShardedSameCellSendIsDirect(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := sh.Send(1, 1, 10*time.Millisecond, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("same-cell send never ran")
+	}
+}
+
+func TestShardedLookaheadViolation(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := sh.Cell(0)
+	if _, err := c0.ScheduleAt(time.Second, func(e *Engine) {
+		// Window is [1s, 2s); an arrival at 1.5s claims a cross-cell
+		// latency below the configured lookahead.
+		sh.Send(0, 1, 1500*time.Millisecond, func() {}) //nolint:errcheck // surfaced by Run
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = sh.Run(0)
+	if !errors.Is(err, ErrLookaheadViolation) {
+		t.Fatalf("Run = %v, want ErrLookaheadViolation", err)
+	}
+}
+
+func TestShardedEventLimitSurfaces(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second, MaxEventsPerCell: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain Handler
+	chain = func(e *Engine) { e.ScheduleAfter(time.Millisecond, chain) }
+	sh.Cell(0).ScheduleAfter(time.Millisecond, chain)
+	if err := sh.Run(0); !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("Run = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestShardedHorizonClocks(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{Cells: 3, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atHorizon := false
+	// One event exactly at the horizon (must fire, matching Engine.Run) and
+	// one beyond it (must stay queued).
+	sh.Cell(1).ScheduleAfter(5*time.Second, func(*Engine) { atHorizon = true })
+	sh.Cell(2).ScheduleAfter(7*time.Second, func(*Engine) {})
+	if err := sh.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !atHorizon {
+		t.Error("event at exactly the horizon did not fire")
+	}
+	for i := 0; i < sh.Cells(); i++ {
+		if now := sh.Cell(i).Now(); now != 5*time.Second {
+			t.Errorf("cell %d Now = %v, want 5s", i, now)
+		}
+	}
+	if sh.Cell(2).Pending() != 1 {
+		t.Errorf("cell 2 Pending = %d, want 1 (event beyond horizon)", sh.Cell(2).Pending())
+	}
+}
+
+func TestShardedMergeOrderSameTimestamp(t *testing.T) {
+	// Cross-cell sends from different source cells arriving at the same
+	// destination timestamp must run in source-cell order, then per-source
+	// send order — regardless of worker count.
+	for _, workers := range []int{1, 2, 4} {
+		sh, err := NewSharded(ShardedConfig{Cells: 4, Lookahead: time.Second, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		arrival := 3 * time.Second
+		for _, src := range []int{3, 1, 2} {
+			src := src
+			sh.Cell(src).ScheduleAfter(time.Second, func(*Engine) {
+				for k := 0; k < 2; k++ {
+					k := k
+					sh.Send(src, 0, arrival, func() { //nolint:errcheck // surfaced by Run
+						got = append(got, fmt.Sprintf("src%d.%d", src, k))
+					})
+				}
+			})
+		}
+		if err := sh.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"src1.0", "src1.1", "src2.0", "src2.1", "src3.0", "src3.1"}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: merge order %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// shardedTrace runs a fixed cross-cell ping-pong workload (with per-cell RNG
+// draws, so RNG state is part of what must be invariant) and returns each
+// cell's event trace.
+func shardedTrace(t *testing.T, workers int) ([][]string, uint64) {
+	t.Helper()
+	const (
+		cells     = 4
+		lookahead = 100 * time.Millisecond
+		horizon   = 20 * time.Second
+	)
+	sh, err := NewSharded(ShardedConfig{Seed: 42, Cells: cells, Lookahead: lookahead, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([][]string, cells) // each written only by its own cell's handlers
+	var loop func(cell, hop int) func()
+	loop = func(cell, hop int) func() {
+		return func() {
+			e := sh.Cell(cell)
+			jitter := time.Duration(e.Rand().Int63n(int64(50 * time.Millisecond)))
+			traces[cell] = append(traces[cell], fmt.Sprintf("%v hop%d j%v", e.Now(), hop, jitter))
+			if hop >= 40 {
+				return
+			}
+			dst := (cell + 1 + hop%3) % cells
+			at := e.Now() + lookahead + jitter
+			sh.Send(cell, dst, at, loop(dst, hop+1)) //nolint:errcheck // surfaced by Run
+		}
+	}
+	for c := 0; c < cells; c++ {
+		c := c
+		sh.Cell(c).ScheduleAfter(time.Duration(c+1)*time.Second, func(*Engine) { loop(c, 0)() })
+	}
+	if err := sh.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return traces, sh.Processed()
+}
+
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	base, baseN := shardedTrace(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got, n := shardedTrace(t, workers)
+		if n != baseN {
+			t.Errorf("workers=%d: processed %d events, want %d", workers, n, baseN)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: traces diverge from single-worker run", workers)
+		}
+	}
+}
