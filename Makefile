@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv plan-smoke
 
 check: build vet race
 
@@ -60,13 +60,20 @@ experiments:
 audit-smoke:
 	./scripts/audit_smoke.sh
 
+# Scenario-plan canary matrix: the curated plans/ catalog must pass with
+# byte-identical output across -parallel and across SIGTERM + resume, and a
+# seeded-violation plan must fail with its assertion in the junit report.
+plan-smoke:
+	./scripts/plan_smoke.sh
+
 # Short fuzz smoke over the tree fail/recover repair, the fault-scenario
-# compiler, and the population-spec parser (one -fuzz pattern per package
-# run, as go test requires).
+# compiler, and the population-spec and scenario-plan parsers (one -fuzz
+# pattern per package run, as go test requires).
 fuzz:
 	$(GO) test ./internal/overlay -run '^$$' -fuzz FuzzTreeFailRecover -fuzztime 10s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzCompile -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParsePopulation -fuzztime 10s
+	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParsePlan -fuzztime 10s
 
 # Coverage ratchet: per-package line-coverage floors on the packages the
 # cohort user model touches. See scripts/coverage.sh for the floor table.

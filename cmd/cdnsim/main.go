@@ -12,6 +12,7 @@
 //	cdnsim -system HAT -audit              # run under the invariant auditor
 //	cdnsim -system HAT -shards 4           # sharded multi-core engine, 4 workers
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
+//	cdnsim -plan plans/10-baseline.json    # run a scenario plan's cells serially
 //	cdnsim -system HAT -cpuprofile cpu.out # pprof CPU profile (also -memprofile, -trace)
 //
 // SIGINT/SIGTERM cancels the simulation promptly at its next event-loop
@@ -33,6 +34,7 @@ import (
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/plan"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/stats"
 	"cdnconsistency/internal/workload"
@@ -70,6 +72,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
 		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
+		planFile  = fs.String("plan", "", "run one scenario plan file (JSON) serially, printing every check and metric per cell; other simulation flags are ignored")
 		timeout   = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -94,6 +97,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *planFile != "" {
+		return runPlan(ctx, *planFile, stdout)
 	}
 
 	sys, err := resolveSystem(*system, *method, *infra)
@@ -148,6 +154,37 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 	printResult(stdout, sys, res)
+	return nil
+}
+
+// runPlan executes one scenario plan's cells serially — the calibration view:
+// every assertion verdict plus the full metric map per cell, so an operator
+// can read off the numbers an SLO should pin. Exits non-zero if any cell
+// fails.
+func runPlan(ctx context.Context, path string, stdout io.Writer) error {
+	p, err := plan.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	cells, err := p.Cells()
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, c := range cells {
+		r, err := plan.RunCell(c, plan.RunOptions{Ctx: ctx})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, r.Render())
+		fmt.Fprint(stdout, r.RenderMetrics())
+		if r.Failed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d plan cells failed", failed, len(cells))
+	}
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -132,5 +134,59 @@ func TestRunHonorsCancellation(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Errorf("cancelled run printed output:\n%s", buf.String())
+	}
+}
+
+func TestRunPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(`{
+	  "name": "tiny",
+	  "systems": ["TTL", "HAT"],
+	  "servers": 12,
+	  "users_per_server": 1,
+	  "clusters": 3,
+	  "server_ttl": "5s",
+	  "game": {"phases": [{"name": "play", "duration": "90s", "mean_gap": "15s"}]},
+	  "assert": [{"metric": "user_observations", "op": ">", "value": 0}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, []string{"-plan", path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"== plan tiny/TTL/s1 ==", "== plan tiny/HAT/s1 ==",
+		"PASS\tuser_observations > 0",
+		"metric\tp99_user_inconsistency",
+		"metric\tprovider_km_kb",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlanFailingExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(`{
+	  "name": "doomed",
+	  "systems": ["TTL"],
+	  "servers": 12,
+	  "users_per_server": 1,
+	  "clusters": 3,
+	  "game": {"phases": [{"name": "play", "duration": "90s", "mean_gap": "15s"}]},
+	  "assert": [{"metric": "user_observations", "op": "<", "value": 0}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, []string{"-plan", path})
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 plan cells failed") {
+		t.Fatalf("failing plan did not fail the run: %v", err)
+	}
+	if !strings.Contains(out, "FAIL\tuser_observations < 0") {
+		t.Errorf("output missing FAIL line:\n%s", out)
 	}
 }

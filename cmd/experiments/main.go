@@ -31,6 +31,14 @@
 //	experiments -memprofile mem.out  # pprof heap profile (post-GC, at exit)
 //	experiments -trace trace.out     # runtime execution trace
 //
+// Plan mode replaces the figure sweep with a declarative scenario matrix:
+// each plan file pins a workload, population, fault scenario and system set,
+// plus SLO assertions over the run's results. See the plans/ catalog.
+//
+//	experiments -plan plans/10-baseline.json      # one plan
+//	experiments -plan-catalog plans               # every plan in the directory
+//	experiments -plan-catalog plans -junit r.xml  # plus a junit-style report
+//
 // Profiling never changes results: simulations are deterministic from
 // their seeds, so output stays byte-identical with collectors attached.
 package main
@@ -44,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -103,6 +112,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
+		planFile  = fs.String("plan", "", "run one scenario plan file (JSON) as a system x seed matrix with SLO assertions, instead of figures")
+		planDir   = fs.String("plan-catalog", "", "run every *.json scenario plan in this directory (sorted by filename), instead of figures")
+		junitOut  = fs.String("junit", "", "write a junit-style XML report of plan cells to this file (plan mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +138,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	}
 	if *timeout < 0 || *stuck < 0 || *auditCad < 0 {
 		return fmt.Errorf("-timeout, -stuck and -audit-cadence must be >= 0")
+	}
+
+	errw := &syncWriter{w: stderr}
+
+	// Plan mode: -plan/-plan-catalog replaces the figure sweep with a scenario
+	// matrix; figure-shaping flags are rejected rather than silently ignored.
+	if *planFile != "" || *planDir != "" {
+		if *planFile != "" && *planDir != "" {
+			return fmt.Errorf("-plan and -plan-catalog are mutually exclusive")
+		}
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale", "only", "format", "faults", "shards", "audit", "audit-cadence":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("%s: figure-sweep flags cannot be combined with -plan/-plan-catalog", strings.Join(bad, ", "))
+		}
+		return runPlans(ctx, planRunConfig{
+			file:      *planFile,
+			dir:       *planDir,
+			junit:     *junitOut,
+			parallel:  *parallel,
+			metrics:   *metrics,
+			ckDir:     *ckDirFlag,
+			resumeDir: *resumeDir,
+			timeout:   *timeout,
+			stuck:     *stuck,
+		}, stdout, errw)
+	}
+	if *junitOut != "" {
+		return fmt.Errorf("-junit requires -plan or -plan-catalog")
 	}
 
 	var (
@@ -191,8 +238,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 				ckDir, journal.Len(), ckDir)
 		}
 	}
-
-	errw := &syncWriter{w: stderr}
 
 	type job struct {
 		id  string
@@ -298,8 +343,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 				delete(want, j.id)
 			}
 		}
-		for id := range want {
-			return fmt.Errorf("no figure matches %q", id)
+		if len(want) > 0 {
+			// Name every unknown id (sorted, so the error is deterministic)
+			// and the full valid set, so a typo is a one-round-trip fix.
+			unknown := make([]string, 0, len(want))
+			for id := range want {
+				unknown = append(unknown, strconv.Quote(id))
+			}
+			sort.Strings(unknown)
+			valid := make([]string, len(jobs))
+			for i, j := range jobs {
+				valid[i] = j.id
+			}
+			return fmt.Errorf("-only: no figure matches %s; valid ids: %s",
+				strings.Join(unknown, ", "), strings.Join(valid, ", "))
 		}
 	}
 	if len(selected) == 0 {

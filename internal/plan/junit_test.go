@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJUnitCountsAndMessages(t *testing.T) {
+	cells := []*CellResult{
+		{
+			ID: "a/TTL/s1", Plan: "a", System: "TTL", Seed: 1,
+			Metrics: map[string]float64{"crashes": 0, "stale_serve_frac": 0.25},
+			Checks:  []CheckResult{{Name: "crashes == 0", OK: true, Detail: "got 0, limit 0"}},
+		},
+		{
+			ID: "a/HAT/s1", Plan: "a", System: "HAT", Seed: 1,
+			Checks: []CheckResult{
+				{Name: "crashes == 0", OK: true, Detail: "got 0, limit 0"},
+				{Name: "stale_serve_frac <= 0.1", OK: false, Detail: "got 0.5, limit 0.1"},
+				{Name: "p99_user_inconsistency <= 2*ttl", OK: false, Detail: "got 99, limit 20"},
+			},
+		},
+		{
+			ID: "b/TTL/s1", Plan: "b", System: "TTL", Seed: 1,
+			Err: `cdn: sharded runs cannot use Audit & "quotes" <tags>`,
+		},
+	}
+	data, err := JUnit(cells)
+	if err != nil {
+		t.Fatalf("JUnit: %v", err)
+	}
+	var doc junitSuites
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report is not valid XML: %v\n%s", err, data)
+	}
+	if doc.Tests != 3 || doc.Failures != 1 || doc.Errors != 1 {
+		t.Errorf("testsuites counts = %d/%d/%d, want 3/1/1", doc.Tests, doc.Failures, doc.Errors)
+	}
+	if len(doc.Suites) != 2 || doc.Suites[0].Name != "a" || doc.Suites[1].Name != "b" {
+		t.Fatalf("suite grouping wrong: %+v", doc.Suites)
+	}
+	if doc.Suites[0].Tests != 2 || doc.Suites[0].Failures != 1 {
+		t.Errorf("suite a counts = %+v", doc.Suites[0])
+	}
+	fail := doc.Suites[0].Cases[1].Failure
+	if fail == nil {
+		t.Fatal("failing cell has no <failure>")
+	}
+	if fail.Message != "2 assertion(s) failed" {
+		t.Errorf("failure message = %q", fail.Message)
+	}
+	if !strings.Contains(fail.Body, "stale_serve_frac <= 0.1: got 0.5, limit 0.1") {
+		t.Errorf("failure body missing assertion detail: %q", fail.Body)
+	}
+	errCase := doc.Suites[1].Cases[0].Error
+	if errCase == nil || !strings.Contains(errCase.Body, `"quotes" <tags>`) {
+		t.Errorf("error case did not survive XML round trip: %+v", errCase)
+	}
+	if !strings.Contains(doc.Suites[0].Cases[0].SystemOut, "stale_serve_frac=0.25") {
+		t.Errorf("system-out missing metrics: %q", doc.Suites[0].Cases[0].SystemOut)
+	}
+}
+
+func TestJUnitDeterministic(t *testing.T) {
+	cells := []*CellResult{{
+		ID: "a/TTL/s1", Plan: "a", System: "TTL", Seed: 1,
+		Metrics: map[string]float64{"b": 2, "a": 1, "c": 3},
+		Checks:  []CheckResult{{Name: "a == 1", OK: true, Detail: "got 1, limit 1"}},
+	}}
+	first, err := JUnit(cells)
+	if err != nil {
+		t.Fatalf("JUnit: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := JUnit(cells)
+		if err != nil {
+			t.Fatalf("JUnit: %v", err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("report not byte-stable:\n%s\nvs\n%s", first, again)
+		}
+	}
+	if strings.Contains(string(first), "time=") {
+		t.Errorf("report contains wall-clock attributes:\n%s", first)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, planName string) {
+		js := `{"name":"` + planName + `","systems":["TTL"],"assert":[{"metric":"crashes","op":"==","value":0}]}`
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(js), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("20-second.json", "second")
+	mk("10-first.json", "first")
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plans, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(plans) != 2 || plans[0].Name != "first" || plans[1].Name != "second" {
+		t.Errorf("catalog order wrong: %+v", plans)
+	}
+
+	// Duplicate plan names across files are rejected.
+	mk("30-dup.json", "first")
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "both define") {
+		t.Errorf("duplicate plan name not rejected: %v", err)
+	}
+
+	// An empty catalog is an error, not a silent no-op.
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestLoadFileErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("load error does not name the file: %v", err)
+	}
+}
