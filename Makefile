@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv plan-smoke
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv plan-smoke federation-smoke
 
 check: build vet race
 
@@ -66,13 +66,21 @@ audit-smoke:
 plan-smoke:
 	./scripts/plan_smoke.sh
 
+# Multi-CDN federation canary: the provider-storm and broker-flap plans must
+# pass (stranded_users == 0, zero auditor violations, cross-system compares)
+# with byte-identical output across -parallel and across SIGTERM + resume,
+# and the seeded bad-compare plan must fail with the compare in the report.
+federation-smoke:
+	./scripts/federation_smoke.sh
+
 # Short fuzz smoke over the tree fail/recover repair, the fault-scenario
-# compiler, and the population-spec and scenario-plan parsers (one -fuzz
-# pattern per package run, as go test requires).
+# compiler, and the population-spec, federation-spec and scenario-plan
+# parsers (one -fuzz pattern per package run, as go test requires).
 fuzz:
 	$(GO) test ./internal/overlay -run '^$$' -fuzz FuzzTreeFailRecover -fuzztime 10s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzCompile -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParsePopulation -fuzztime 10s
+	$(GO) test ./internal/federation -run '^$$' -fuzz FuzzParseFederation -fuzztime 10s
 	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParsePlan -fuzztime 10s
 
 # Coverage ratchet: per-package line-coverage floors on the packages the

@@ -9,6 +9,8 @@
 //	cdnsim -system HAT                     # one of the paper's named systems
 //	cdnsim -system TTL -faults churn -failover
 //	cdnsim -faults @scenario.json          # hand-written fault spec
+//	cdnsim -system TTL -federation 3 -faults provider-storm -failover
+//	cdnsim -federation @providers.json     # hand-written multi-CDN spec
 //	cdnsim -system HAT -audit              # run under the invariant auditor
 //	cdnsim -system HAT -shards 4           # sharded multi-core engine, 4 workers
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/federation"
 	"cdnconsistency/internal/plan"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/stats"
@@ -69,6 +73,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		shards    = fs.Int("shards", 0, "sharded multi-core engine worker count (0 = serial engine; results are identical for any value >= 1)")
 		cells     = fs.Int("shardcells", 0, "sharded partition cell count (0 = default 8); the cell count, not the worker count, shapes sharded results")
 		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
+		fed       = fs.String("federation", "", "multi-CDN federation: a provider count (default real-city sites) or @file.json spec; serial-only")
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
 		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
@@ -136,6 +141,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		}
 		opts = append(opts, core.WithFaults(spec))
 	}
+	if *fed != "" {
+		if *shards > 0 {
+			// Mirrors the -shards/-audit rejection: fail the flag combination
+			// up front instead of run by run inside the cdn layer.
+			return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
+		}
+		spec, err := resolveFederation(*fed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithFederation(spec))
+	}
 	if *failover {
 		opts = append(opts, core.WithFailover())
 	}
@@ -170,7 +187,8 @@ func runPlan(ctx context.Context, path string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	failed := 0
+	failed, total := 0, 0
+	var results []*plan.CellResult
 	for _, c := range cells {
 		r, err := plan.RunCell(c, plan.RunOptions{Ctx: ctx})
 		if err != nil {
@@ -178,12 +196,22 @@ func runPlan(ctx context.Context, path string, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, r.Render())
 		fmt.Fprint(stdout, r.RenderMetrics())
+		results = append(results, r)
+		total++
 		if r.Failed() {
 			failed++
 		}
 	}
+	// Cross-system compares are judged once the whole matrix has run.
+	if cr := plan.EvalCompares(p, results); cr != nil {
+		fmt.Fprint(stdout, cr.Render())
+		total++
+		if cr.Failed() {
+			failed++
+		}
+	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d plan cells failed", failed, len(cells))
+		return fmt.Errorf("%d of %d plan cells failed", failed, total)
 	}
 	return nil
 }
@@ -256,6 +284,24 @@ func resolvePopulation(usermodel, popFile string, servers, users, cohorts int, u
 	})
 }
 
+// resolveFederation maps the -federation flag to a spec: "@path" loads a
+// JSON federation spec, anything else is a provider count handed to
+// federation.DefaultSpec's real-city site list.
+func resolveFederation(arg string) (federation.Spec, error) {
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return federation.Spec{}, err
+		}
+		return federation.ParseSpec(data)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return federation.Spec{}, fmt.Errorf("-federation wants a provider count >= 1 or @file.json, got %q", arg)
+	}
+	return federation.DefaultSpec(n), nil
+}
+
 // resolveFaults maps the -faults flag to a spec: "@path" loads a JSON
 // scenario file, anything else is a built-in scenario name.
 func resolveFaults(arg string) (fault.Spec, error) {
@@ -301,6 +347,10 @@ func printResult(w io.Writer, sys core.System, res *cdn.Result) {
 		fmt.Fprintf(w, "stale_serve_frac\t%.4f\n", res.StaleServeFrac())
 		fmt.Fprintf(w, "failover_actions\treparents=%d ttl_fallbacks=%d\n",
 			res.ServerReparents, res.TTLFallbacks)
+	}
+	if res.DegradedSeconds > 0 || res.ProviderSwitches > 0 || res.PeerHandoffs > 0 || res.StrandedUsers > 0 {
+		fmt.Fprintf(w, "federation\tdegraded_s=%.1f intervals=%d switches=%d handoffs=%d stranded=%d\n",
+			res.DegradedSeconds, res.DegradedEnters, res.ProviderSwitches, res.PeerHandoffs, res.StrandedUsers)
 	}
 	fmt.Fprintf(w, "events\t%d\n", res.Events)
 }

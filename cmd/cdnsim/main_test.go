@@ -67,11 +67,47 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-servers", "0"},
 		{"-badflag"},
 		{"-timeout", "-1s"},
+		{"-federation", "0"},
+		{"-federation", "x"},
+		{"-federation", "@no-such-file.json"},
+		{"-federation", "3", "-shards", "2"},
 	}
 	for _, args := range cases {
 		if _, err := runCLI(t, args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunFederation(t *testing.T) {
+	out, err := runCLI(t, small("-system", "TTL", "-federation", "3",
+		"-faults", "provider-storm", "-failover"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"federation\t", "degraded_s=", "stranded=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFederationSpecFile(t *testing.T) {
+	spec := `{"providers": [
+	  {"name": "a", "lat": 33.7, "lon": -84.4, "ttl": "10s"},
+	  {"name": "b", "lat": 50.1, "lon": 8.7, "ttl": "30s", "propagation": "5s"}
+	], "broker": {"period": "20s", "hysteresis": 0.2, "min_dwell": "1m"}}`
+	path := filepath.Join(t.TempDir(), "providers.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, small("-system", "Invalidation", "-federation", "@"+path,
+		"-faults", "broker-flap", "-failover"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "switches=") {
+		t.Errorf("output missing federation switch counter:\n%s", out)
 	}
 }
 

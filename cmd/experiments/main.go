@@ -62,6 +62,7 @@ import (
 
 	"cdnconsistency/internal/checkpoint"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/federation"
 	"cdnconsistency/internal/figures"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/runner"
@@ -103,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		metrics   = fs.Bool("metrics", false, "print a per-figure timing/event/allocation summary to stderr")
 		faults    = fs.String("faults", "", "comma-separated fault scenarios to run as fault-<name> figures ("+strings.Join(fault.ScenarioNames(), ", ")+"; \"all\" for every one)")
 		shards    = fs.Int("shards", 0, "run the ext-scale sweep on the sharded multi-core engine with this many workers (0 = serial engine; any value >= 1 yields identical tables)")
+		fedFlag   = fs.String("federation", "", "multi-CDN federation for the federation-* figures: a provider count or @file.json spec (default: 3 real-city providers; serial-only)")
 		audit     = fs.Bool("audit", false, "run every simulation under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
 		ckDirFlag = fs.String("checkpoint", "", "journal finished figures into this directory (atomic; survives SIGKILL)")
@@ -151,7 +153,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		var bad []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scale", "only", "format", "faults", "shards", "audit", "audit-cadence":
+			case "scale", "only", "format", "faults", "shards", "audit", "audit-cadence", "federation":
 				bad = append(bad, "-"+f.Name)
 			}
 		})
@@ -201,7 +203,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		// serial-only; the cdn layer would reject the combination run by run.
 		return fmt.Errorf("-shards and -audit are mutually exclusive (the invariant auditor is serial-only)")
 	}
+	if *shards > 0 && *fedFlag != "" {
+		// Same shape as the -shards/-audit rejection: provider selection and
+		// degradation are global state, so the federation layer is serial-only.
+		return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
+	}
 	simScale.Shards = *shards
+	fedSpec := federation.DefaultSpec(3)
+	if *fedFlag != "" {
+		var err error
+		if fedSpec, err = resolveFederation(*fedFlag); err != nil {
+			return err
+		}
+	}
 
 	// Open the checkpoint journal, if any. -resume implies journaling to the
 	// same directory; a fresh -checkpoint refuses a directory that already
@@ -227,6 +241,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 			"faults":        *faults,
 			"audit":         strconv.FormatBool(*audit),
 			"audit-cadence": auditCad.String(),
+			"federation":    *fedFlag,
 		}}
 		var err error
 		journal, err = checkpoint.Open(ckDir, meta)
@@ -298,6 +313,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		simJob("ext-catalog", figures.ExtCatalog),
 		simJob("ext-faults", figures.ExtFaults),
 		simJob("ext-failover", figures.ExtFailover),
+		simJob("federation-storm", func(s figures.SimScale) (*figures.Table, error) {
+			return figures.FederationStorm(s, fedSpec)
+		}),
+		simJob("federation-flap", func(s figures.SimScale) (*figures.Table, error) {
+			return figures.FederationFlap(s, fedSpec)
+		}),
 		simJob("ext-scale", figures.ExtScale),
 		simJob("ablation-queue", figures.AblationQueue),
 		simJob("ablation-proximity", figures.AblationProximity),
@@ -447,6 +468,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		printMetrics(errw, summary, *parallel)
 	}
 	return nil
+}
+
+// resolveFederation turns the -federation flag value into a provider spec:
+// "@path" parses a JSON spec file, anything else must be a provider count
+// (>= 1) expanded through the real-city default sites.
+func resolveFederation(arg string) (federation.Spec, error) {
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return federation.Spec{}, err
+		}
+		return federation.ParseSpec(data)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return federation.Spec{}, fmt.Errorf("-federation wants a provider count >= 1 or @file.json, got %q", arg)
+	}
+	return federation.DefaultSpec(n), nil
 }
 
 // printMetrics writes the per-job summary table. It goes to stderr so that

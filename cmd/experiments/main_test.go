@@ -77,6 +77,10 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-format", "csv"},
 		{"-timeout", "-1s"},
 		{"-checkpoint", "a", "-resume", "b"},
+		{"-federation", "0"},
+		{"-federation", "x"},
+		{"-federation", "@no-such-file.json"},
+		{"-shards", "2", "-federation", "3"},
 	}
 	for _, args := range cases {
 		if _, _, err := runCLI(t, args...); err == nil {

@@ -164,6 +164,16 @@ func runPlans(ctx context.Context, cfg planRunConfig, stdout io.Writer, errw *sy
 		return err
 	}
 
+	// Cross-system compares run after the whole matrix: each plan's compare
+	// block is a pure function of its cells' recorded metrics, so the output
+	// stays byte-identical across -parallel values and checkpoint resume.
+	for _, p := range plans {
+		if cr := plan.EvalCompares(p, results); cr != nil {
+			fmt.Fprint(stdout, cr.Render())
+			results = append(results, cr)
+		}
+	}
+
 	if cfg.junit != "" {
 		data, err := plan.JUnit(results)
 		if err != nil {

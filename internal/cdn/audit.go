@@ -81,6 +81,11 @@ func (s *simulation) regimeMaxDelay() time.Duration {
 	if cfg.FailServers > 0 || (cfg.Faults != nil && !cfg.Faults.Empty()) || cfg.Net.LossProb > 0 {
 		return 0
 	}
+	if cfg.Federation != nil {
+		// Per-provider TTL overrides and propagation delays break the
+		// uniform per-hop bound; only non-negativity is enforced.
+		return 0
+	}
 	switch cfg.Method {
 	case consistency.MethodTTL, consistency.MethodAdaptiveTTL, consistency.MethodPush:
 	default:
@@ -195,6 +200,9 @@ func (a *auditor) check() *audit.Violation {
 	if v := a.checkVisitTraffic(); v != nil {
 		return v
 	}
+	if v := a.checkFederation(); v != nil {
+		return v
+	}
 	// The copy-free view keeps the per-sweep conservation check from cloning
 	// the whole per-sender ledger every cadence. The auditor only runs
 	// serial, so cell 0 holds the whole run's state.
@@ -300,6 +308,10 @@ func (a *auditor) counterView() map[string]int {
 		"deliverAttempts":        c.deliverAttempts,
 		"deliverSends":           c.deliverSends,
 		"visitsAccounted":        c.visitsAccounted,
+		"degradedEnters":         c.degradedEnters,
+		"degradedExits":          c.degradedExits,
+		"providerSwitches":       c.providerSwitches,
+		"peerHandoffs":           c.peerHandoffs,
 		// The modeled population is constant, so the monotone-counter check
 		// doubles as a second population-conservation signal.
 		"modeledUsers": s.um.totalUsers(),
@@ -333,6 +345,63 @@ func (a *auditor) checkCounters() *audit.Violation {
 		return v
 	}
 	return audit.CheckSeries("recoverySeconds", c.recoverySeconds)
+}
+
+// checkFederation verifies the federation runtime's conservation invariants
+// against its independent second ledger: degradation intervals balance
+// (enters − exits equals the currently-open intervals, and the reported
+// degraded seconds equal the per-node interval sums), durable switches and
+// peering hand-offs match the fed-side ledgers, home assignments stay in
+// bounds, and no provider ever serves a version newer than the ground truth.
+// Tamper with either side of any pair and this check catches the split.
+func (a *auditor) checkFederation() *audit.Violation {
+	f := a.s.fed
+	if f == nil {
+		return nil
+	}
+	c := a.s.cells[0]
+	open := 0
+	var total float64
+	for i := range f.degradedSince {
+		if f.degradedSince[i] >= 0 {
+			open++
+		}
+		total += f.degradedTotal[i]
+	}
+	if c.degradedExits > c.degradedEnters {
+		return violationAt("degradation-conservation", -1,
+			"%d degradation exits for %d enters", c.degradedExits, c.degradedEnters)
+	}
+	if c.degradedEnters-c.degradedExits != open {
+		return violationAt("degradation-conservation", -1,
+			"%d enters - %d exits != %d open degradation intervals",
+			c.degradedEnters, c.degradedExits, open)
+	}
+	if diff := c.degradedSeconds - total; diff > 1e-9 || diff < -1e-9 {
+		return violationAt("degradation-ledger", -1,
+			"degraded seconds counter %v != per-node interval sum %v", c.degradedSeconds, total)
+	}
+	if c.providerSwitches != f.ledgerSwitches {
+		return violationAt("switch-ledger", -1,
+			"providerSwitches counter %d != federation ledger %d", c.providerSwitches, f.ledgerSwitches)
+	}
+	if c.peerHandoffs != f.ledgerHandoffs {
+		return violationAt("handoff-ledger", -1,
+			"peerHandoffs counter %d != federation ledger %d", c.peerHandoffs, f.ledgerHandoffs)
+	}
+	for i := 1; i < len(f.home); i++ {
+		if f.home[i] < 0 || f.home[i] >= len(f.prov) {
+			return violationAt("home-bounds", i,
+				"node %d homed at invalid provider %d of %d", i, f.home[i], len(f.prov))
+		}
+	}
+	for k, p := range f.prov {
+		if p.version < 0 || p.version > c.published {
+			return violationAt("provider-version-bounds", -1,
+				"provider %d serves version %d outside [0, %d]", k, p.version, c.published)
+		}
+	}
+	return nil
 }
 
 // checkDelivery verifies delivery conservation: every delivery attempt either

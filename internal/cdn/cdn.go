@@ -13,6 +13,7 @@ import (
 
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/federation"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/topology"
 	"cdnconsistency/internal/workload"
@@ -118,6 +119,16 @@ type Config struct {
 	// subtree stops receiving pushed updates. It also governs whether
 	// crash-recovered servers re-join the multicast tree via Reattach.
 	RepairTree bool
+
+	// Federation optionally runs the simulation against a multi-CDN
+	// federation (see internal/federation): N provider origins with distinct
+	// TTLs and propagation delays, anycast nearest-provider homing,
+	// inter-CDN peering hand-off when a home provider is down, an optional
+	// meta-CDN broker that durably re-homes servers with hysteresis, and
+	// graceful serve-stale degradation (bounded by StaleCap) when every
+	// provider is unreachable. Serial-only, and incompatible with the
+	// provider-direct methods (Lease, Regime) and InfraBroadcast.
+	Federation *federation.Spec
 
 	// Faults optionally injects a declarative fault scenario — crash-stop,
 	// crash-recovery with state loss, provider outage windows, ISP-level
@@ -270,6 +281,23 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FailServers < 0 {
 		return c, fmt.Errorf("cdn: negative FailServers %d", c.FailServers)
 	}
+	if c.Federation != nil {
+		if err := c.Federation.Validate(); err != nil {
+			return c, fmt.Errorf("cdn: %w", err)
+		}
+		if c.Shards > 0 {
+			return c, fmt.Errorf("cdn: sharded runs cannot use Federation (provider selection and degradation are global state; federate a serial run)")
+		}
+		if c.Method == consistency.MethodLease {
+			return c, fmt.Errorf("cdn: Federation is incompatible with MethodLease (leaseholders are provider-direct)")
+		}
+		if c.Method == consistency.MethodRegime {
+			return c, fmt.Errorf("cdn: Federation is incompatible with MethodRegime (regimes register provider-direct)")
+		}
+		if c.Infra == consistency.InfraBroadcast {
+			return c, fmt.Errorf("cdn: Federation is incompatible with InfraBroadcast (flooding has no origin to federate)")
+		}
+	}
 	if c.Shards < 0 {
 		return c, fmt.Errorf("cdn: negative Shards %d", c.Shards)
 	}
@@ -397,6 +425,25 @@ type Result struct {
 	// published snapshot at observation time — the stale-serve metric the
 	// fault figures report.
 	StaleObservations int
+
+	// Federation outcomes (all zero when Config.Federation is nil).
+	//
+	// DegradedSeconds sums every server's serve-stale degradation intervals:
+	// time spent serving cached content after an origin contact found all
+	// providers down, until the first successful contact (or the horizon).
+	// DegradedEnters/DegradedExits count the interval endpoints.
+	DegradedSeconds float64
+	DegradedEnters  int
+	DegradedExits   int
+	// ProviderSwitches counts durable home-provider changes (broker
+	// decisions and retry-exhaustion failovers); PeerHandoffs counts
+	// transient inter-CDN peering answers while a home provider was down.
+	ProviderSwitches int
+	PeerHandoffs     int
+	// StrandedUsers counts users whose final visit of the run failed — the
+	// all-providers-down acceptance metric: with unlimited serve-stale it
+	// must be zero.
+	StrandedUsers int
 
 	// AuditChecks counts the invariant-auditor passes that ran (cadence
 	// sweeps, post-mutation tree checks, and the final sweep); zero when

@@ -108,6 +108,17 @@ func (m *cohortUsers) visit(c *cohort) {
 		// whole cohort re-homes at once (members share a location, so
 		// the explicit model moves each of them identically).
 		s.cell(c.home).failedVisits += w
+		c.leader.lastFailed = true
+		c.follow.lastFailed = true
+		if s.cfg.Failover {
+			m.failover(c)
+		}
+	case s.fedStaleDenied(c.home):
+		// Serve-stale denial past the federation staleness cap fails every
+		// member identically (the denial depends only on the server).
+		s.cell(c.home).failedVisits += w
+		c.leader.lastFailed = true
+		c.follow.lastFailed = true
 		if s.cfg.Failover {
 			m.failover(c)
 		}
@@ -186,11 +197,17 @@ func (m *cohortUsers) collect(res *Result) {
 		res.UserWeights = append(res.UserWeights, 1)
 		res.UserObservations += c.leader.observations
 		res.UserInconsistentObservations += c.leader.inconsistent
+		if c.leader.lastFailed {
+			res.StrandedUsers++
+		}
 		if c.count > 1 {
 			res.UserAvgInconsistency = append(res.UserAvgInconsistency, c.follow.avg())
 			res.UserWeights = append(res.UserWeights, c.count-1)
 			res.UserObservations += (c.count - 1) * c.follow.observations
 			res.UserInconsistentObservations += (c.count - 1) * c.follow.inconsistent
+			if c.follow.lastFailed {
+				res.StrandedUsers += c.count - 1
+			}
 		}
 	}
 }

@@ -69,19 +69,32 @@ func (s *simulation) pollAttempt(i, attempt int) {
 		return // orphaned by a failed repair: nothing to poll
 	}
 	answered := false
-	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
-		if s.nodes[p].down || (p == 0 && s.providerDown) {
-			return // no answer; the poller's timeout takes over
-		}
-		v := s.nodes[p].version
-		s.deliver(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
+	if p == 0 && s.fed != nil {
+		// Federated origin poll: route to the home provider (or a peering
+		// hand-off), answer with that provider's version from its endpoint.
+		s.fedOriginExchange(i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func(v, _ int) {
 			if answered || nd.down || nd.gen != gen {
 				return
 			}
 			answered = true
+			s.fedExitDegraded(i)
 			s.onPollResponse(i, p, v)
 		})
-	})
+	} else {
+		s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+			if s.nodes[p].down || (p == 0 && s.providerDown) {
+				return // no answer; the poller's timeout takes over
+			}
+			v := s.nodes[p].version
+			s.deliver(p, i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func() {
+				if answered || nd.down || nd.gen != gen {
+					return
+				}
+				answered = true
+				s.onPollResponse(i, p, v)
+			})
+		})
+	}
 	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if answered || nd.down || nd.gen != gen {
 			return
@@ -98,13 +111,25 @@ func (s *simulation) pollAttempt(i, attempt int) {
 func (s *simulation) pollRetry(i, p, attempt int) {
 	nd := s.nodes[i]
 	if s.cfg.Failover && attempt >= pollMaxAttempts {
-		pn := s.nodes[p]
-		if pn.down && p != 0 && s.cfg.Infra == consistency.InfraMulticast && s.tree.Parent(i) == p {
-			if err := s.tree.Remove(p, s.locs, s.cfg.TreeDegree, s.alive); err == nil {
-				s.cell(i).serverReparents++
+		if p == 0 && s.fed != nil {
+			// The origin stopped answering through a whole retry cycle:
+			// durably re-home to the nearest alive provider (the anycast
+			// analogue of reparenting off a dead relay). During a full
+			// blackout there is nowhere to go — serve-stale rides it out.
+			if h := s.fed.home[i]; s.fed.prov[h].down {
+				if k := s.fed.nearestAlive(s, i); k >= 0 && k != h {
+					s.fedRehome(i, k)
+				}
 			}
-			if s.aud != nil {
-				s.aud.onTreeMutation(fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
+		} else {
+			pn := s.nodes[p]
+			if pn.down && p != 0 && s.cfg.Infra == consistency.InfraMulticast && s.tree.Parent(i) == p {
+				if err := s.tree.Remove(p, s.locs, s.cfg.TreeDegree, s.alive); err == nil {
+					s.cell(i).serverReparents++
+				}
+				if s.aud != nil {
+					s.aud.onTreeMutation(fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
+				}
 			}
 		}
 		attempt = 0 // fresh cycle against the (possibly new) parent
@@ -173,29 +198,40 @@ func (s *simulation) armWatchdog(i int) {
 			return
 		}
 		answered := false
-		s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
-			if s.nodes[p].down || (p == 0 && s.providerDown) {
-				return // no answer; the heartbeat timeout concludes
+		heartbeat := func(v int) {
+			if answered || nd.down || nd.gen != gen {
+				return
 			}
-			v := s.nodes[p].version
-			s.deliver(p, i, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+			answered = true
+			if !nd.pollStopped {
+				nd.watchdogArmed = false
+				return
+			}
+			if v > nd.version && nd.valid {
+				// The feed moved on without notifying us: the
+				// registration was lost somewhere en route.
+				s.ttlFallback(i)
+				return
+			}
+			s.at(i, s.now(i)+2*s.cfg.ServerTTL, tick)
+		}
+		if p == 0 && s.fed != nil {
+			s.fedOriginExchange(i, s.cfg.LightSizeKB, netmodel.ClassLight, func(v, _ int) {
 				if answered || nd.down || nd.gen != gen {
 					return
 				}
-				answered = true
-				if !nd.pollStopped {
-					nd.watchdogArmed = false
-					return
-				}
-				if v > nd.version && nd.valid {
-					// The feed moved on without notifying us: the
-					// registration was lost somewhere en route.
-					s.ttlFallback(i)
-					return
-				}
-				s.at(i, s.now(i)+2*s.cfg.ServerTTL, tick)
+				s.fedExitDegraded(i)
+				heartbeat(v)
 			})
-		})
+		} else {
+			s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+				if s.nodes[p].down || (p == 0 && s.providerDown) {
+					return // no answer; the heartbeat timeout concludes
+				}
+				v := s.nodes[p].version
+				s.deliver(p, i, s.cfg.LightSizeKB, netmodel.ClassLight, func() { heartbeat(v) })
+			})
+		}
 		s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 			if answered || nd.down || nd.gen != gen {
 				return
@@ -252,6 +288,19 @@ func (s *simulation) onPollResponse(i, p, v int) {
 			nd.pollStopped = true
 			s.armWatchdog(i)
 			childV := nd.version
+			if p == 0 && s.fed != nil {
+				// Register with the logical origin via the current home (or
+				// peering) provider; a provider dark at arrival loses the
+				// registration, and the watchdog recovers the node.
+				k := s.fedRoute(i)
+				s.fedDeliverUp(i, k, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
+					if s.fed.prov[k].down {
+						return
+					}
+					s.subscribe(p, i, s.nodes[i].version)
+				})
+				return
+			}
 			s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {
 				if s.nodes[p].down || (p == 0 && s.providerDown) {
 					return // subscription lost; the watchdog (or the
@@ -265,7 +314,7 @@ func (s *simulation) onPollResponse(i, p, v int) {
 			})
 			return
 		}
-		s.pollAfter(i, s.cfg.ServerTTL)
+		s.pollAfter(i, s.fedTTL(i))
 	case consistency.MethodAdaptiveTTL:
 		now := s.now(i)
 		if hadUpdate {
@@ -283,7 +332,7 @@ func (s *simulation) onPollResponse(i, p, v int) {
 			s.pollAfter(i, s.cfg.ServerTTL)
 		}
 	default: // plain TTL
-		s.pollAfter(i, s.cfg.ServerTTL)
+		s.pollAfter(i, s.fedTTL(i))
 	}
 }
 
@@ -300,6 +349,15 @@ func (s *simulation) subscribe(src, child, childV int) {
 	// seen, notify immediately rather than waiting for the next publish —
 	// handles an update racing the subscription.
 	nd.subscribers[child] = false
+	if src == 0 && s.fed != nil {
+		// The relevant "already newer" comparison is against the child's
+		// home provider, whose servable version trails the ground truth by
+		// its propagation delay.
+		if k := s.fed.home[child]; !s.fed.prov[k].down && s.fed.prov[k].version > childV {
+			s.fedNotifySubscribers(k)
+		}
+		return
+	}
 	if nd.version > childV {
 		s.notifySubscribers(nd)
 	}
@@ -324,7 +382,20 @@ func (s *simulation) triggerFetch(i int, cb func()) {
 	}
 	nd.fetchSeq++
 	seq, gen := nd.fetchSeq, nd.gen
-	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() { s.serveFetch(p, i) })
+	if p == 0 && s.fed != nil {
+		// Federated origin fetch: the answering provider serves its own
+		// (propagation-delayed) version; an unanswered fetch times out below
+		// and serves the stale local content.
+		s.fedOriginExchange(i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func(v, _ int) {
+			if nd.down || nd.gen != gen || nd.fetchSeq != seq || !nd.fetchInFlight {
+				return
+			}
+			s.fedExitDegraded(i)
+			s.completeFetch(i, v)
+		})
+	} else {
+		s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() { s.serveFetch(p, i) })
+	}
 	s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
 		if nd.down || nd.gen != gen || nd.fetchSeq != seq || !nd.fetchInFlight {
 			return
@@ -415,7 +486,7 @@ func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
 	resume := func() {
 		if nd.pollStopped {
 			nd.pollStopped = false
-			s.pollAfter(i, s.cfg.ServerTTL)
+			s.pollAfter(i, s.fedTTL(i))
 		}
 		if onDone != nil {
 			onDone()
@@ -423,6 +494,30 @@ func (s *simulation) selfAdaptiveVisitPoll(i int, onDone func()) {
 	}
 	if p == overlay.NoParent {
 		resume()
+		return
+	}
+	if p == 0 && s.fed != nil {
+		s.fedOriginExchange(i, s.cfg.UpdateSizeKB, netmodel.ClassUpdate, func(v, k int) {
+			if answered || nd.down || nd.gen != gen {
+				return
+			}
+			answered = true
+			s.fedExitDegraded(i)
+			s.setVersion(nd, v)
+			nd.valid = true
+			// Notify the switch back (Algorithm 1 line 12) via the provider
+			// that answered; the registry lives on the logical origin.
+			s.fedDeliverUp(i, k, s.cfg.LightSizeKB, netmodel.ClassLight, func() { delete(s.nodes[p].subscribers, i) })
+			resume()
+		})
+		s.at(i, s.now(i)+s.cfg.ServerTTL, func() {
+			if answered || nd.down || nd.gen != gen {
+				return
+			}
+			// Blackout or in-flight failure: serve stale, resume.
+			answered = true
+			resume()
+		})
 		return
 	}
 	s.deliver(i, p, s.cfg.LightSizeKB, netmodel.ClassLight, func() {

@@ -67,6 +67,13 @@ type cellState struct {
 	deliverAttempts int
 	deliverSends    int
 	deliverDrops    map[string]int
+
+	// Federation counters (serial-only; always zero in cells > 0).
+	degradedSeconds  float64
+	degradedEnters   int
+	degradedExits    int
+	providerSwitches int
+	peerHandoffs     int
 }
 
 // sharded reports whether this run executes under the window barrier.
@@ -260,5 +267,10 @@ func (s *simulation) mergeCellTallies(res *Result) {
 		res.ServerReparents += c.serverReparents
 		res.TTLFallbacks += c.ttlFallbacks
 		res.StaleObservations += c.staleObservations
+		res.DegradedSeconds += c.degradedSeconds
+		res.DegradedEnters += c.degradedEnters
+		res.DegradedExits += c.degradedExits
+		res.ProviderSwitches += c.providerSwitches
+		res.PeerHandoffs += c.peerHandoffs
 	}
 }

@@ -123,6 +123,11 @@ type simulation struct {
 	providerDown  bool
 	pendingDissem bool
 
+	// fed is the multi-CDN federation runtime, nil unless cfg.Federation is
+	// set (serial-only; withDefaults rejects Federation under sharding).
+	// With fed == nil every classic code path runs unchanged.
+	fed *fedState
+
 	// aud is the runtime invariant auditor, nil unless cfg.Audit is set
 	// (serial runs only; withDefaults rejects Audit under sharding).
 	aud *auditor
@@ -181,6 +186,13 @@ func newSimulation(cfg Config) (*simulation, error) {
 		return nil, err
 	}
 
+	if cfg.Federation != nil {
+		// The federation runtime draws no randomness (anycast homing is a
+		// pure function of locations), so the engine RNG stream below is
+		// untouched by its construction.
+		s.fed = newFedState(s, cfg.Federation)
+	}
+
 	if cfg.UseDNSRouting {
 		entries := make([]dns.ServerEntry, 0, len(topo.Servers))
 		for i, srv := range topo.Servers {
@@ -221,11 +233,16 @@ func newSimulation(cfg Config) (*simulation, error) {
 		// A dedicated RNG stream (not the engine's) keeps topology and user
 		// schedules identical between runs with and without faults.
 		frng := rand.New(rand.NewSource(cfg.Seed + 0x0fa17))
+		providers := 0
+		if cfg.Federation != nil {
+			providers = len(cfg.Federation.Providers)
+		}
 		events, err := fault.Compile(*cfg.Faults, fault.Env{
-			Servers: len(topo.Servers),
-			Locs:    s.locs[1:],
-			ISPs:    isps,
-			Horizon: s.horizon,
+			Servers:   len(topo.Servers),
+			Locs:      s.locs[1:],
+			ISPs:      isps,
+			Horizon:   s.horizon,
+			Providers: providers,
 		}, frng)
 		if err != nil {
 			return nil, fmt.Errorf("cdn: %w", err)
@@ -446,6 +463,13 @@ func (s *simulation) run() (*Result, error) {
 	}
 	s.scheduleFailures()
 	s.scheduleFaults()
+	if s.fed != nil && s.fed.brokerPeriod > 0 {
+		// The meta-CDN broker is a periodic engine event: deterministic
+		// timing, no randomness, serial-only like the rest of federation.
+		if _, err := s.cells[0].eng.Every(s.fed.brokerPeriod, func(*sim.Engine) { s.fedBrokerTick() }); err != nil {
+			return nil, fmt.Errorf("cdn: broker period: %w", err)
+		}
+	}
 	if s.cfg.Audit != nil {
 		// Serial runs only (withDefaults rejects Audit under sharding):
 		// sweeps observe global state, so they must be ordinary events of
@@ -482,6 +506,13 @@ func (s *simulation) run() (*Result, error) {
 		runErr = s.shEng.Run(s.horizon)
 	} else {
 		runErr = s.cells[0].eng.Run(s.horizon)
+	}
+	if s.fed != nil {
+		// Close still-open degradation intervals at the drained clock so
+		// degraded_seconds covers blackouts running into the horizon — and so
+		// the auditor's final conservation sweep sees balanced enter/exit
+		// ledgers.
+		s.fedCloseDegradation()
 	}
 	if s.aud != nil {
 		// One final sweep over the drained state; a violation found here
@@ -585,9 +616,17 @@ func (s *simulation) scheduleFaults() {
 		case fault.OpServerUp:
 			s.at(e.Server+1, e.At, func() { s.recoverServer(e.Server + 1) })
 		case fault.OpProviderDown:
-			s.at(0, e.At, func() { s.providerDown = true })
+			if s.fed != nil {
+				s.at(0, e.At, func() { s.fedProviderDown(e.Provider) })
+			} else {
+				s.at(0, e.At, func() { s.providerDown = true })
+			}
 		case fault.OpProviderUp:
-			s.at(0, e.At, func() { s.providerUp() })
+			if s.fed != nil {
+				s.at(0, e.At, func() { s.fedProviderUp(e.Provider) })
+			} else {
+				s.at(0, e.At, func() { s.providerUp() })
+			}
 		// Network-scoped faults apply to every cell's network view at the
 		// fault instant, so all senders see them (serial: the one cell).
 		case fault.OpPartitionStart:
@@ -786,6 +825,17 @@ func (s *simulation) schedulePublications() {
 			provider := s.nodes[0]
 			s.setVersion(provider, v)
 			s.cells[0].published = v
+			if s.fed != nil {
+				// Federated origins: each provider takes (and disseminates)
+				// the snapshot after its own propagation delay; a down
+				// provider defers dissemination until its recovery.
+				now := s.now(0)
+				for k := range s.fed.prov {
+					k := k
+					s.at(0, now+s.fed.prov[k].propagation, func() { s.fedAdvance(k, v) })
+				}
+				return
+			}
 			if s.providerDown {
 				// Origin outage: the content exists (ground truth
 				// advances) but cannot be disseminated until the

@@ -60,6 +60,11 @@ type userAgg struct {
 	// Figure 24 accounting.
 	observations int
 	inconsistent int
+	// lastFailed marks that the most recent visit failed (dead server, or a
+	// serve-stale denial past the federation staleness cap); any served
+	// observation clears it. Users still flagged at run end are the
+	// stranded_users metric.
+	lastFailed bool
 }
 
 // avg is the user's mean catch-up delay in seconds.
@@ -82,6 +87,7 @@ func (a *userAgg) avg() float64 {
 func (s *simulation) observeAgg(i int, a *userAgg, weight, v int) {
 	c := s.cell(i)
 	a.observations++
+	a.lastFailed = false
 	if v < c.published {
 		c.staleObservations += weight
 	}

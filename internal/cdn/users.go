@@ -115,6 +115,16 @@ func (m *explicitUsers) visit(u *user) {
 		// that cached IPs of failed servers keep attracting requests
 		// (Section 3.4.5). With Failover the user reacts immediately.
 		s.cell(target).failedVisits++
+		u.agg.lastFailed = true
+		if s.cfg.Failover {
+			m.failoverUser(u)
+		}
+	case s.fedStaleDenied(target):
+		// The server has served stale content under all-providers-down
+		// degradation for longer than the federation staleness cap: the
+		// visit fails rather than serve arbitrarily old content.
+		s.cell(target).failedVisits++
+		u.agg.lastFailed = true
 		if s.cfg.Failover {
 			m.failoverUser(u)
 		}
@@ -203,6 +213,9 @@ func (m *explicitUsers) collect(res *Result) {
 		res.UserAvgInconsistency = append(res.UserAvgInconsistency, u.agg.avg())
 		res.UserObservations += u.agg.observations
 		res.UserInconsistentObservations += u.agg.inconsistent
+		if u.agg.lastFailed {
+			res.StrandedUsers++
+		}
 	}
 }
 

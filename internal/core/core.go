@@ -13,6 +13,7 @@ import (
 	"cdnconsistency/internal/cdn"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/federation"
 	"cdnconsistency/internal/netmodel"
 	"cdnconsistency/internal/topology"
 	"cdnconsistency/internal/workload"
@@ -197,6 +198,19 @@ func WithFaults(spec fault.Spec) Option {
 	return func(c *cdn.Config) {
 		s := spec
 		c.Faults = &s
+	}
+}
+
+// WithFederation runs the simulation against a multi-CDN federation: N
+// provider origins with distinct TTLs and propagation delays, anycast
+// nearest-provider homing, inter-CDN peering hand-off while a home provider
+// is down, an optional meta-CDN broker with hysteresis and dwell, and
+// graceful serve-stale degradation when every provider is unreachable. See
+// internal/federation for the spec language; serial-only.
+func WithFederation(spec federation.Spec) Option {
+	return func(c *cdn.Config) {
+		s := spec
+		c.Federation = &s
 	}
 }
 

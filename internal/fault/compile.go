@@ -22,6 +22,10 @@ type Env struct {
 	ISPs []int
 	// Horizon is the run length; fractional times resolve against it.
 	Horizon time.Duration
+	// Providers is the federated provider count; 0 means the classic
+	// single origin. Provider storms roll across all of them and flap
+	// targets compile against this bound.
+	Providers int
 }
 
 // Op is a compiled fault event type.
@@ -76,6 +80,9 @@ type Event struct {
 	Group int
 	// Factor is the service-delay multiplier (overload ops only).
 	Factor float64
+	// Provider is the 0-based federated provider index for provider ops
+	// (always 0 outside a federation).
+	Provider int
 }
 
 // Compile expands a spec into a time-sorted event schedule. Random draws
@@ -124,9 +131,19 @@ func Compile(spec Spec, env Env, rng *rand.Rand) ([]Event, error) {
 			return nil, fmt.Errorf("fault: regional[%d]: %w", i, err)
 		}
 	}
+	if spec.ProviderStorm != nil {
+		if err := c.storm(*spec.ProviderStorm); err != nil {
+			return nil, fmt.Errorf("fault: provider_storm: %w", err)
+		}
+	}
+	for i, fl := range spec.ProviderFlaps {
+		if err := c.flap(fl); err != nil {
+			return nil, fmt.Errorf("fault: provider_flaps[%d]: %w", i, err)
+		}
+	}
 
-	// Stable order: time, then op, then server — scheduling order must not
-	// depend on spec listing order for simultaneous events.
+	// Stable order: time, then op, then server, then provider — scheduling
+	// order must not depend on spec listing order for simultaneous events.
 	sort.SliceStable(c.events, func(i, j int) bool {
 		a, b := c.events[i], c.events[j]
 		if a.At != b.At {
@@ -135,7 +152,10 @@ func Compile(spec Spec, env Env, rng *rand.Rand) ([]Event, error) {
 		if a.Op != b.Op {
 			return a.Op < b.Op
 		}
-		return a.Server < b.Server
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		return a.Provider < b.Provider
 	})
 	return c.events, nil
 }
@@ -364,6 +384,68 @@ func (c *compiler) regional(r Regional) error {
 		if err := c.crashAt(v, at+delta, r.RecoverAfter); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// providers returns the effective federated provider count (at least 1).
+func (c *compiler) providers() int {
+	if c.env.Providers <= 0 {
+		return 1
+	}
+	return c.env.Providers
+}
+
+func (c *compiler) storm(ps ProviderStorm) error {
+	at, d, err := c.resolveWindow(ps.Start, ps.StartFrac, ps.Duration, ps.DurFrac)
+	if err != nil {
+		return err
+	}
+	if ps.Stagger.D() < 0 {
+		return fmt.Errorf("negative stagger %v", ps.Stagger.D())
+	}
+	if ps.Stagger.D() > c.env.Horizon {
+		return fmt.Errorf("stagger %v beyond horizon %v", ps.Stagger.D(), c.env.Horizon)
+	}
+	down := at
+	for k := 0; k < c.providers(); k++ {
+		if down > c.env.Horizon {
+			// Later wave positions fall past the run's end; nothing to emit.
+			break
+		}
+		c.emit(Event{At: down, Op: OpProviderDown, Provider: k})
+		c.emit(Event{At: down + d, Op: OpProviderUp, Provider: k})
+		down += ps.Stagger.D()
+	}
+	return nil
+}
+
+func (c *compiler) flap(f ProviderFlap) error {
+	if f.Provider < 0 || f.Provider >= c.providers() {
+		return fmt.Errorf("provider %d outside 0..%d", f.Provider, c.providers()-1)
+	}
+	if f.Count <= 0 {
+		return fmt.Errorf("count %d must be > 0", f.Count)
+	}
+	if f.Period.D() <= 0 || f.Period.D() > c.env.Horizon {
+		return fmt.Errorf("period %v must lie inside (0, horizon %v]", f.Period.D(), c.env.Horizon)
+	}
+	if f.Downtime.D() <= 0 || f.Downtime.D() >= f.Period.D() {
+		return fmt.Errorf("downtime %v must lie inside (0, period %v)", f.Downtime.D(), f.Period.D())
+	}
+	at, err := c.resolveAt(f.Start, f.StartFrac, "start")
+	if err != nil {
+		return err
+	}
+	down := at
+	for i := 0; i < f.Count; i++ {
+		if down > c.env.Horizon {
+			// Later cycles fall past the run's end; nothing to emit.
+			break
+		}
+		c.emit(Event{At: down, Op: OpProviderDown, Provider: f.Provider})
+		c.emit(Event{At: down + f.Downtime.D(), Op: OpProviderUp, Provider: f.Provider})
+		down += f.Period.D()
 	}
 	return nil
 }

@@ -139,6 +139,40 @@ type Regional struct {
 	Frac         float64  `json:"frac,omitempty"`
 }
 
+// ProviderStorm rolls an outage wave across every federated provider:
+// provider k goes down at start + k x stagger, each for the same duration.
+// A stagger shorter than duration/(providers-1) overlaps the windows into a
+// full all-providers-down blackout — the scenario that exercises
+// serve-stale degradation. Against a single-provider deployment the storm
+// degenerates to a plain provider outage.
+type ProviderStorm struct {
+	Start     Duration `json:"start,omitempty"`
+	StartFrac float64  `json:"start_frac,omitempty"`
+	// Duration is each provider's outage length; DurFrac expresses it as a
+	// horizon fraction when Duration is zero.
+	Duration Duration `json:"duration,omitempty"`
+	DurFrac  float64  `json:"dur_frac,omitempty"`
+	// Stagger is the delay between successive providers' failures
+	// (0 = all providers drop simultaneously).
+	Stagger Duration `json:"stagger,omitempty"`
+}
+
+// ProviderFlap bounces one provider down and back up Count times: down at
+// start + i x period for downtime each cycle. Rapid flapping is what the
+// meta-CDN broker's hysteresis exists to absorb.
+type ProviderFlap struct {
+	// Provider is the 0-based federated provider index (0 = the primary,
+	// also valid for single-provider runs).
+	Provider  int      `json:"provider,omitempty"`
+	Count     int      `json:"count"`
+	Start     Duration `json:"start,omitempty"`
+	StartFrac float64  `json:"start_frac,omitempty"`
+	// Period is the cycle length; Downtime (the down share of each cycle)
+	// must be shorter than it.
+	Period   Duration `json:"period"`
+	Downtime Duration `json:"downtime"`
+}
+
 // Spec is one declarative fault scenario. The zero Spec injects nothing.
 type Spec struct {
 	Crashes         []Crash        `json:"crashes,omitempty"`
@@ -147,13 +181,16 @@ type Spec struct {
 	Partitions      []Partition    `json:"partitions,omitempty"`
 	Overloads       []Overload     `json:"overloads,omitempty"`
 	Regional        []Regional     `json:"regional,omitempty"`
+	ProviderStorm   *ProviderStorm `json:"provider_storm,omitempty"`
+	ProviderFlaps   []ProviderFlap `json:"provider_flaps,omitempty"`
 }
 
 // Empty reports whether the spec injects no faults at all.
 func (s Spec) Empty() bool {
 	return len(s.Crashes) == 0 && s.RandomCrashes == nil &&
 		len(s.ProviderOutages) == 0 && len(s.Partitions) == 0 &&
-		len(s.Overloads) == 0 && len(s.Regional) == 0
+		len(s.Overloads) == 0 && len(s.Regional) == 0 &&
+		s.ProviderStorm == nil && len(s.ProviderFlaps) == 0
 }
 
 // ParseSpec decodes a JSON scenario. Unknown fields are rejected so typos

@@ -17,6 +17,8 @@ func FuzzCompile(f *testing.F) {
 	f.Add([]byte(`{"partitions": [{"start_frac": 0.1, "dur_frac": 0.3, "isps": [0, 2]}]}`))
 	f.Add([]byte(`{"overloads": [{"random_servers": 2, "start_frac": 0.2, "dur_frac": 0.1, "factor": 4}]}`))
 	f.Add([]byte(`{"regional": [{"lat": 10, "lon": 20, "radius_km": 5000, "at_frac": 0.5}]}`))
+	f.Add([]byte(`{"provider_storm": {"start_frac": 0.35, "dur_frac": 0.2, "stagger": "30s"}}`))
+	f.Add([]byte(`{"provider_flaps": [{"provider": 0, "count": 6, "start_frac": 0.3, "period": "2m", "downtime": "45s"}]}`))
 
 	env := testEnv(8)
 	f.Fuzz(func(t *testing.T, data []byte) {

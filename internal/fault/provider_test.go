@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCompileProviderStormRollsAcrossProviders(t *testing.T) {
+	env := testEnv(8)
+	env.Providers = 3
+	spec := Spec{ProviderStorm: &ProviderStorm{
+		Start: Duration(10 * time.Minute), Duration: Duration(5 * time.Minute),
+		Stagger: Duration(time.Minute),
+	}}
+	evs := compileOK(t, spec, env, 1)
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(evs), evs)
+	}
+	downAt := map[int]time.Duration{}
+	upAt := map[int]time.Duration{}
+	for _, e := range evs {
+		switch e.Op {
+		case OpProviderDown:
+			downAt[e.Provider] = e.At
+		case OpProviderUp:
+			upAt[e.Provider] = e.At
+		default:
+			t.Fatalf("unexpected op %v", e.Op)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		wantDown := 10*time.Minute + time.Duration(k)*time.Minute
+		if downAt[k] != wantDown {
+			t.Errorf("provider %d down at %v, want %v", k, downAt[k], wantDown)
+		}
+		if upAt[k] != wantDown+5*time.Minute {
+			t.Errorf("provider %d up at %v, want %v", k, upAt[k], wantDown+5*time.Minute)
+		}
+	}
+	// The stagger (1m) is shorter than the outage (5m), so providers 0..2
+	// are all simultaneously down from the last failure to the first
+	// recovery — the blackout interval serve-stale must cover.
+	if last, firstUp := downAt[2], upAt[0]; last >= firstUp {
+		t.Errorf("no blackout overlap: last down %v, first up %v", last, firstUp)
+	}
+}
+
+func TestCompileProviderStormSingleProviderDegeneratesToOutage(t *testing.T) {
+	spec := Spec{ProviderStorm: &ProviderStorm{StartFrac: 0.35, DurFrac: 0.2, Stagger: Duration(30 * time.Second)}}
+	evs := compileOK(t, spec, testEnv(8), 1) // Providers unset -> 1
+	if len(evs) != 2 || evs[0].Op != OpProviderDown || evs[1].Op != OpProviderUp {
+		t.Fatalf("events: %+v", evs)
+	}
+	if evs[0].Provider != 0 || evs[1].Provider != 0 {
+		t.Errorf("single-provider storm targeted provider %d/%d", evs[0].Provider, evs[1].Provider)
+	}
+}
+
+func TestCompileProviderFlapCycles(t *testing.T) {
+	env := testEnv(8)
+	env.Providers = 2
+	spec := Spec{ProviderFlaps: []ProviderFlap{{
+		Provider: 1, Count: 4, Start: Duration(5 * time.Minute),
+		Period: Duration(2 * time.Minute), Downtime: Duration(30 * time.Second),
+	}}}
+	evs := compileOK(t, spec, env, 1)
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8: %+v", len(evs), evs)
+	}
+	for i := 0; i < 4; i++ {
+		down, up := evs[2*i], evs[2*i+1]
+		wantDown := 5*time.Minute + time.Duration(i)*2*time.Minute
+		if down.Op != OpProviderDown || down.Provider != 1 || down.At != wantDown {
+			t.Errorf("cycle %d down = %+v, want provider 1 down at %v", i, down, wantDown)
+		}
+		if up.Op != OpProviderUp || up.Provider != 1 || up.At != wantDown+30*time.Second {
+			t.Errorf("cycle %d up = %+v", i, up)
+		}
+	}
+}
+
+func TestCompileProviderFlapClampsToHorizon(t *testing.T) {
+	env := testEnv(8) // 30m horizon
+	spec := Spec{ProviderFlaps: []ProviderFlap{{
+		Count: 1000, Start: Duration(20 * time.Minute),
+		Period: Duration(5 * time.Minute), Downtime: Duration(time.Minute),
+	}}}
+	evs := compileOK(t, spec, env, 1)
+	// Cycles at 20m, 25m, 30m fit; the rest fall past the horizon.
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(evs), evs)
+	}
+	for _, e := range evs {
+		if e.At > env.Horizon+time.Minute {
+			t.Errorf("event past horizon: %+v", e)
+		}
+	}
+}
+
+func TestCompileProviderRejectsBadInput(t *testing.T) {
+	env := testEnv(8)
+	env.Providers = 2
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	bad := []Spec{
+		{ProviderStorm: &ProviderStorm{StartFrac: 0.1}},                                                                          // zero duration
+		{ProviderStorm: &ProviderStorm{StartFrac: 0.1, DurFrac: 0.1, Stagger: Duration(-time.Second)}},                           // negative stagger
+		{ProviderStorm: &ProviderStorm{StartFrac: 0.1, DurFrac: 0.1, Stagger: Duration(time.Hour)}},                              // stagger beyond horizon
+		{ProviderFlaps: []ProviderFlap{{Provider: 5, Count: 1, Period: Duration(time.Minute), Downtime: Duration(time.Second)}}}, // provider out of range
+		{ProviderFlaps: []ProviderFlap{{Count: 0, Period: Duration(time.Minute), Downtime: Duration(time.Second)}}},              // no cycles
+		{ProviderFlaps: []ProviderFlap{{Count: 1, Downtime: Duration(time.Second)}}},                                             // zero period
+		{ProviderFlaps: []ProviderFlap{{Count: 1, Period: Duration(time.Hour), Downtime: Duration(time.Second)}}},                // period beyond horizon
+		{ProviderFlaps: []ProviderFlap{{Count: 1, Period: Duration(time.Minute), Downtime: Duration(time.Minute)}}},              // downtime >= period
+	}
+	for i, spec := range bad {
+		if _, err := Compile(spec, env, rng()); err == nil {
+			t.Errorf("bad provider spec %d accepted", i)
+		}
+	}
+}
+
+func TestProviderScenariosCompileAtAnyProviderCount(t *testing.T) {
+	for _, name := range []string{"provider-storm", "broker-flap"} {
+		spec, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		for _, providers := range []int{0, 1, 3, 8} {
+			env := testEnv(8)
+			env.Providers = providers
+			if _, err := Compile(spec, env, rand.New(rand.NewSource(1))); err != nil {
+				t.Errorf("scenario %q with %d providers: %v", name, providers, err)
+			}
+		}
+	}
+}

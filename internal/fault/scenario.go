@@ -53,6 +53,25 @@ var scenarios = map[string]func() Spec{
 			Partitions:      []Partition{{StartFrac: 0.25, DurFrac: 0.15, RandomISPs: 3}},
 		}
 	},
+	// provider-storm: a rolling outage wave across every federated
+	// provider — each down for 20% of the run starting at 35%, staggered
+	// 30 s apart, so the windows overlap into an all-providers-down
+	// blackout that only serve-stale degradation survives. With one
+	// provider it degenerates to a plain outage.
+	"provider-storm": func() Spec {
+		return Spec{ProviderStorm: &ProviderStorm{
+			StartFrac: 0.35, DurFrac: 0.2, Stagger: Duration(30 * time.Second),
+		}}
+	},
+	// broker-flap: the primary provider bounces down/up six times on a
+	// 2-minute cycle (45 s down each) from 30% of the run — the rapid
+	// flapping the meta-CDN broker's hysteresis exists to absorb.
+	"broker-flap": func() Spec {
+		return Spec{ProviderFlaps: []ProviderFlap{{
+			Provider: 0, Count: 6, StartFrac: 0.3,
+			Period: Duration(2 * time.Minute), Downtime: Duration(45 * time.Second),
+		}}}
+	},
 }
 
 // Scenario returns a built-in scenario by name.

@@ -1,0 +1,49 @@
+package federation
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFederation asserts the strict-JSON federation parser never
+// panics, and that any accepted spec survives a Marshal/reparse round trip
+// unchanged — the same contract FuzzParsePlan and FuzzParsePopulation pin
+// for their parsers.
+func FuzzParseFederation(f *testing.F) {
+	seeds := []string{
+		`{"providers": [{"name": "atlanta", "lat": 33.75, "lon": -84.39}]}`,
+		`{"providers": [
+		   {"name": "atlanta", "lat": 33.75, "lon": -84.39},
+		   {"name": "frankfurt", "lat": 50.11, "lon": 8.68, "ttl": "30s", "propagation": "2s"}
+		 ],
+		 "broker": {"period": "1m", "hysteresis": 0.2, "min_dwell": "3m"},
+		 "stale_cap": "10m"}`,
+		`{"providers": [{"name": "a", "lat": 0, "lon": 0, "ttl": 45}], "stale_cap": 120}`,
+		`{"providers": []}`,
+		`{"providers": [{"name": "a", "lat": 91, "lon": 0}]}`,
+		`{"providers": [{"name": "a", "lat": 0, "lon": 0}], "broker": {"period": 0}}`,
+		`not json`,
+		`{}`,
+		`[]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := spec.Marshal()
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v\nspec: %+v", err, spec)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshaled spec failed to reparse: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip changed spec:\n first:  %+v\n second: %+v", spec, back)
+		}
+	})
+}

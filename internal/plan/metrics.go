@@ -50,6 +50,13 @@ var metricDefs = []struct {
 	{"server_reparents", func(r *cdn.Result) float64 { return float64(r.ServerReparents) }},
 	{"ttl_fallbacks", func(r *cdn.Result) float64 { return float64(r.TTLFallbacks) }},
 
+	// Federation outcomes (multi-CDN origin layer; zero without a
+	// federation spec).
+	{"degraded_seconds", func(r *cdn.Result) float64 { return r.DegradedSeconds }},
+	{"provider_switches", func(r *cdn.Result) float64 { return float64(r.ProviderSwitches) }},
+	{"peer_handoffs", func(r *cdn.Result) float64 { return float64(r.PeerHandoffs) }},
+	{"stranded_users", func(r *cdn.Result) float64 { return float64(r.StrandedUsers) }},
+
 	// Traffic cost (the paper's cost axis) and message counts.
 	{"update_msgs_to_servers", func(r *cdn.Result) float64 { return float64(r.UpdateMsgsToServers) }},
 	{"update_msgs_from_provider", func(r *cdn.Result) float64 { return float64(r.UpdateMsgsFromProvider) }},

@@ -31,6 +31,7 @@ import (
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
+	"cdnconsistency/internal/federation"
 	"cdnconsistency/internal/workload"
 )
 
@@ -145,6 +146,13 @@ type Plan struct {
 	Population    *workload.Population `json:"population,omitempty"`
 	PopulationGen *PopulationGen       `json:"population_gen,omitempty"`
 
+	// Federation runs every cell against a multi-CDN federation: provider
+	// origins with distinct TTLs and propagation lags, anycast homing,
+	// peering hand-off, an optional meta-CDN broker, and serve-stale
+	// degradation (see internal/federation). The federation layer is
+	// serial-only: mutually exclusive with Shards.
+	Federation *federation.Spec `json:"federation,omitempty"`
+
 	// FaultScenario names a built-in fault scenario (fault.ScenarioNames);
 	// Faults spells one out inline. At most one of the two may be set.
 	FaultScenario string      `json:"fault_scenario,omitempty"`
@@ -168,6 +176,27 @@ type Plan struct {
 	// Equivalence lists cross-run checks (EquivShardWorkers,
 	// EquivCohortExplicit) every cell must satisfy.
 	Equivalence []string `json:"equivalence,omitempty"`
+	// Compare lists cross-system assertions, evaluated per seed once the
+	// whole matrix has run (see EvalCompares): e.g. "HAT's provider load is
+	// at most 0.5x Push's".
+	Compare []Compare `json:"compare,omitempty"`
+}
+
+// Compare is one cross-system SLO: it relates the same metric extracted from
+// two of the plan's systems at the same seed — Left Op Factor x Right. Both
+// sides must name entries of Plan.Systems; Factor 0 means 1 (and an explicit
+// zero threshold is spelled with op against factor 0 on the right, e.g.
+// "Push degraded_seconds <= 0 x TTL's").
+type Compare struct {
+	// Metric names one of the extracted run metrics (see MetricNames).
+	Metric string `json:"metric"`
+	// Left and Right are system labels from the plan's Systems list.
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	// Op is one of <=, <, >=, >, ==, !=.
+	Op string `json:"op"`
+	// Factor scales the right side before comparing; 0 means 1.
+	Factor *float64 `json:"factor,omitempty"`
 }
 
 // nameRE bounds plan names to id-safe characters (they appear in cell ids,
@@ -363,8 +392,16 @@ func (p *Plan) Validate() error {
 	if p.Audit && p.Shards > 0 {
 		return fmt.Errorf("plan %s: audit and shards are mutually exclusive (the invariant auditor is serial-only)", p.Name)
 	}
-	if len(p.Assert) == 0 && len(p.Equivalence) == 0 {
-		return fmt.Errorf("plan %s: no assertions and no equivalence checks — the plan would enforce nothing", p.Name)
+	if p.Federation != nil {
+		if err := p.Federation.Validate(); err != nil {
+			return fmt.Errorf("plan %s: %w", p.Name, err)
+		}
+		if p.Shards > 0 {
+			return fmt.Errorf("plan %s: federation and shards are mutually exclusive (the federation layer is serial-only)", p.Name)
+		}
+	}
+	if len(p.Assert) == 0 && len(p.Equivalence) == 0 && len(p.Compare) == 0 {
+		return fmt.Errorf("plan %s: no assertions, equivalence checks, or compares — the plan would enforce nothing", p.Name)
 	}
 	for i, a := range p.Assert {
 		if !knownMetric(a.Metric) {
@@ -376,6 +413,27 @@ func (p *Plan) Validate() error {
 		}
 		if a.TTLMult < 0 {
 			return fmt.Errorf("plan %s: assert[%d]: negative ttl_mult %v", p.Name, i, a.TTLMult)
+		}
+	}
+	for i, c := range p.Compare {
+		if !knownMetric(c.Metric) {
+			return fmt.Errorf("plan %s: compare[%d]: unknown metric %q (valid: %s)",
+				p.Name, i, c.Metric, strings.Join(MetricNames(), ", "))
+		}
+		if !validOps[c.Op] {
+			return fmt.Errorf("plan %s: compare[%d]: unknown op %q (valid: <=, <, >=, >, ==, !=)", p.Name, i, c.Op)
+		}
+		if !seen[c.Left] {
+			return fmt.Errorf("plan %s: compare[%d]: left system %q is not in the plan's systems", p.Name, i, c.Left)
+		}
+		if !seen[c.Right] {
+			return fmt.Errorf("plan %s: compare[%d]: right system %q is not in the plan's systems", p.Name, i, c.Right)
+		}
+		if c.Left == c.Right {
+			return fmt.Errorf("plan %s: compare[%d]: left and right are both %q", p.Name, i, c.Left)
+		}
+		if c.Factor != nil && *c.Factor < 0 {
+			return fmt.Errorf("plan %s: compare[%d]: negative factor %v", p.Name, i, *c.Factor)
 		}
 	}
 	seenEq := map[string]bool{}

@@ -195,6 +195,9 @@ func (c Cell) coreOptions(v variant, opt RunOptions) ([]core.Option, error) {
 	if p.Failover {
 		opts = append(opts, core.WithFailover())
 	}
+	if p.Federation != nil {
+		opts = append(opts, core.WithFederation(*p.Federation))
+	}
 	shards := p.Shards
 	if v.shards > 0 {
 		shards = v.shards

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Federation smoke test, runnable locally and in CI (`make federation-smoke`):
+#
+#   1. run the federation plans (provider storm + broker flap) serially and
+#      in parallel and require byte-identical stdout — cross-system compares
+#      included — plus a passing junit report,
+#   2. run the storm plan again with -checkpoint and SIGTERM it as soon as
+#      the journal records a finished cell, then resume and require the
+#      resumed stdout (including the compare block, which is recomputed from
+#      journaled metrics) to be byte-identical to the uninterrupted run,
+#   3. run the seeded bad-compare plan and require a non-zero exit plus a
+#      junit <failure> naming the impossible compare.
+#
+# A stranded user, an auditor violation, a compare divergence across resume,
+# or a seeded violation the harness fails to catch fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/experiments" ./cmd/experiments
+
+echo "federation-smoke: federation plans, serial"
+"$TMP/experiments" -plan plans/30-federation-storm.json -parallel 1 \
+    >"$TMP/storm-serial.out" 2>/dev/null
+"$TMP/experiments" -plan plans/31-federation-flap.json -parallel 1 \
+    -junit "$TMP/flap.xml" >"$TMP/flap-serial.out" 2>/dev/null
+
+echo "federation-smoke: federation plans, parallel"
+"$TMP/experiments" -plan plans/30-federation-storm.json -parallel 4 \
+    >"$TMP/storm-parallel.out" 2>/dev/null
+"$TMP/experiments" -plan plans/31-federation-flap.json -parallel 4 \
+    >"$TMP/flap-parallel.out" 2>/dev/null
+
+cmp "$TMP/storm-serial.out" "$TMP/storm-parallel.out"
+cmp "$TMP/flap-serial.out" "$TMP/flap-parallel.out"
+grep -q 'failures="0" errors="0"' "$TMP/flap.xml"
+grep -q 'stranded_users == 0' "$TMP/storm-serial.out"
+grep -q '^PASS.compare degraded_seconds' "$TMP/storm-serial.out"
+echo "federation-smoke: plans pass; stdout is byte-identical across -parallel"
+
+echo "federation-smoke: interrupted storm plan (SIGTERM once a cell is checkpointed)"
+"$TMP/experiments" -plan plans/30-federation-storm.json -parallel 1 \
+    -checkpoint "$TMP/ck" >"$TMP/partial.out" 2>"$TMP/partial.err" &
+pid=$!
+for _ in $(seq 1 200); do
+    grep -q '"id"' "$TMP/ck/journal.json" 2>/dev/null && break
+    sleep 0.05
+done
+kill -TERM "$pid" 2>/dev/null || true
+if wait "$pid"; then
+    echo "federation-smoke: plan finished before the signal landed; resume will replay the full journal"
+else
+    echo "federation-smoke: plan interrupted with $(grep -c '"id"' "$TMP/ck/journal.json") cell(s) checkpointed"
+fi
+
+echo "federation-smoke: resuming from $TMP/ck"
+"$TMP/experiments" -plan plans/30-federation-storm.json -parallel 1 \
+    -resume "$TMP/ck" >"$TMP/resumed.out" 2>/dev/null
+
+cmp "$TMP/storm-serial.out" "$TMP/resumed.out"
+echo "federation-smoke: resumed stdout (compares included) is byte-identical to the uninterrupted run"
+
+echo "federation-smoke: seeded bad-compare plan must fail"
+if "$TMP/experiments" -plan plans/seeded/bad-compare.json -junit "$TMP/seeded.xml" \
+    >"$TMP/seeded.out" 2>/dev/null; then
+    echo "federation-smoke: FAIL — seeded bad compare passed" >&2
+    exit 1
+fi
+grep -q '<failure message=' "$TMP/seeded.xml"
+grep -q 'compare degraded_seconds' "$TMP/seeded.xml"
+echo "federation-smoke: OK — seeded bad compare failed with the compare named in the junit report"
