@@ -28,7 +28,7 @@ bench:
 # compared strictly (>20% ns/op or allocs/op fails) against the newest
 # committed BENCH_<n>.json.
 bench-smoke:
-	BENCH_PATTERN='Fig19$$|Fig20$$|ExtScale$$|ShardedExtScale$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep' \
+	BENCH_PATTERN='Fig19$$|Fig20$$|ExtScale$$|ShardedExtScale$$|EngineScheduleFire|EngineEveryCancelChurn|NetworkSendSteadyState|AccountingSweep|ShardedBarrier' \
 	BENCH_TIME=2x BENCH_COUNT=3 BENCH_STRICT=1 \
 	BENCH_GUARD='Fig19,Fig20,ExtScale,ShardedExtScale' \
 	./scripts/bench.sh $(CURDIR)/.bench-smoke.json

@@ -13,6 +13,7 @@
 //	cdnsim -federation @providers.json     # hand-written multi-CDN spec
 //	cdnsim -system HAT -audit              # run under the invariant auditor
 //	cdnsim -system HAT -shards 4           # sharded multi-core engine, 4 workers
+//	cdnsim -system HAT -shards 4 -audit    # sharded AND audited (barrier sweeps)
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
 //	cdnsim -plan plans/10-baseline.json    # run a scenario plan's cells serially
 //	cdnsim -system HAT -cpuprofile cpu.out # pprof CPU profile (also -memprofile, -trace)
@@ -75,8 +76,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		faults    = fs.String("faults", "", "fault scenario: a built-in name ("+strings.Join(fault.ScenarioNames(), ", ")+") or @file.json")
 		fed       = fs.String("federation", "", "multi-CDN federation: a provider count (default real-city sites) or @file.json spec; serial-only")
 		failover  = fs.Bool("failover", false, "enable failure-aware failover reactions")
-		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged)")
+		audit     = fs.Bool("audit", false, "run under the runtime invariant auditor (fails fast on a violated conservation property; metrics are unchanged; composes with -shards)")
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
+		auditSelf = fs.String("audit-self-test", "", "inject a named deliberate corruption mid-run to prove the auditor tripwire fires; the run must fail (requires -audit; names: "+strings.Join(cdn.AuditSelfTestNames(), ", ")+")")
 		planFile  = fs.String("plan", "", "run one scenario plan file (JSON) serially, printing every check and metric per cell; other simulation flags are ignored")
 		timeout   = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -143,8 +145,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 	}
 	if *fed != "" {
 		if *shards > 0 {
-			// Mirrors the -shards/-audit rejection: fail the flag combination
-			// up front instead of run by run inside the cdn layer.
+			// Fail the flag combination up front instead of run by run inside
+			// the cdn layer. (-audit has no such gate: sharded runs sweep at
+			// window barriers.)
 			return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
 		}
 		spec, err := resolveFederation(*fed)
@@ -162,8 +165,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 	if *cells > 0 {
 		opts = append(opts, core.WithShardCells(*cells))
 	}
+	if *auditSelf != "" && !*audit {
+		return fmt.Errorf("-audit-self-test requires -audit")
+	}
 	if *audit {
 		opts = append(opts, core.WithAudit(*auditCad))
+		if *auditSelf != "" {
+			opts = append(opts, core.WithAuditSelfTest(*auditSelf))
+		}
 	}
 	opts = append(opts, core.WithContext(ctx))
 	res, err := core.Run(sys, opts...)

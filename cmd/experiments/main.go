@@ -198,14 +198,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
 	}
-	if *shards > 0 && *audit {
-		// The runtime auditor reads cross-cell state mid-run and is
-		// serial-only; the cdn layer would reject the combination run by run.
-		return fmt.Errorf("-shards and -audit are mutually exclusive (the invariant auditor is serial-only)")
-	}
 	if *shards > 0 && *fedFlag != "" {
-		// Same shape as the -shards/-audit rejection: provider selection and
-		// degradation are global state, so the federation layer is serial-only.
+		// Provider selection and degradation are global state, so the
+		// federation layer is serial-only. (-audit composes with -shards:
+		// sharded runs sweep at window barriers.)
 		return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
 	}
 	simScale.Shards = *shards

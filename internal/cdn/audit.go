@@ -10,7 +10,7 @@ import (
 )
 
 // AuditOptions configures the runtime invariant auditor. The auditor rides
-// the simulation's own event loop: at every Cadence of virtual time it sweeps
+// the simulation's own execution: at every Cadence of virtual time it sweeps
 // the full conservation-property set (tree structure, version bounds,
 // catch-up accounting, counter monotonicity, traffic-ledger conservation,
 // delivery conservation), and it re-checks the overlay tree immediately after
@@ -18,15 +18,49 @@ import (
 // returned as the run's error, so a corrupted simulation can never produce a
 // figure.
 //
-// Audit sweeps are engine events, so an audited run processes more events
-// than an unaudited one — but they draw no randomness and mutate nothing, so
-// every reported metric is identical with the auditor on or off.
+// In a serial run, audit sweeps are engine events, so an audited run
+// processes more events than an unaudited one — but they draw no randomness
+// and mutate nothing, so every reported metric is identical with the auditor
+// on or off. In a sharded run the sweeps execute at window barriers instead
+// (every cell quiescent, coordinator single-threaded): per-event observations
+// are recorded cell-locally by the worker that owns the cell and folded in
+// deterministic cell order at the next barrier, so the audited run processes
+// exactly the same events — and produces exactly the same Result — as the
+// unaudited one.
 type AuditOptions struct {
 	// Cadence is the virtual-time period between full sweeps; default 30 s.
 	Cadence time.Duration
+	// SelfTest, when non-empty, injects one named, deliberate corruption
+	// halfway through the run so operators can prove the auditor tripwire
+	// end-to-end (a run configured this way must fail). Valid names:
+	// "version-bounds" (a server's version is forced beyond every published
+	// snapshot),
+	// "counter-negative" (a cumulative counter is forced negative), and
+	// "delivery-conservation" (a delivery attempt is booked with no matching
+	// send or drop).
+	SelfTest string
 }
 
 const defaultAuditCadence = 30 * time.Second
+
+// AuditSelfTestNames lists the valid AuditOptions.SelfTest values, in the
+// order they are documented.
+func AuditSelfTestNames() []string {
+	return []string{"version-bounds", "counter-negative", "delivery-conservation"}
+}
+
+// ValidAuditSelfTest reports whether name is empty or a known self-test.
+func ValidAuditSelfTest(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range AuditSelfTestNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // auditor holds the sweep state: the previous observation of every monotone
 // quantity, the precomputed catch-up delay bound, and the first violation.
@@ -42,6 +76,10 @@ type auditor struct {
 	// non-negativity is enforced: under faults, loss, or visit-driven pull
 	// methods there is no sound a-priori bound short of the horizon.
 	delayBound time.Duration
+
+	// nextSweep is the next cadence boundary, consumed by the sharded
+	// barrier driver (serial runs schedule sweeps as engine events instead).
+	nextSweep time.Duration
 
 	prevVersion    []int
 	prevGen        []int
@@ -63,6 +101,7 @@ func newAuditor(s *simulation) *auditor {
 	if s.cfg.Audit.Cadence > 0 {
 		a.cadence = s.cfg.Audit.Cadence
 	}
+	a.nextSweep = a.cadence
 	a.delayBound = s.regimeMaxDelay()
 	return a
 }
@@ -120,18 +159,40 @@ func (s *simulation) regimeMaxDelay() time.Duration {
 }
 
 // fail records the first violation, stamps it with the simulation clock, and
-// stops the engine so no further (possibly corrupted) events execute.
+// — in a serial run — stops the engine so no further (possibly corrupted)
+// events execute. A sharded run is aborted by the barrier driver returning
+// the violation instead: Stop on one cell would be a cross-cell mutation.
 func (a *auditor) fail(v *audit.Violation) {
 	if v == nil || a.violation != nil {
 		return
 	}
-	v.Time = a.s.cells[0].eng.Now()
+	if v.Time == 0 {
+		v.Time = a.s.cells[0].eng.Now()
+	}
 	a.violation = v
-	a.s.cells[0].eng.Stop()
+	if !a.s.sharded() {
+		a.s.cells[0].eng.Stop()
+	}
 }
 
-// onDelay audits one recorded server catch-up delay as it happens.
+// onDelay audits one recorded server catch-up delay as it happens. In a
+// sharded run it executes on the worker goroutine that owns the node's cell,
+// so the finding is parked cell-locally (stamped with the cell's own clock)
+// and promoted by the coordinator at the next barrier — no shared auditor
+// state is touched mid-window.
 func (a *auditor) onDelay(nodeIdx int, delay time.Duration) {
+	if a.s.sharded() {
+		c := a.s.cell(nodeIdx)
+		if c.audDelayViol != nil {
+			return
+		}
+		if v := audit.CheckBoundedDelay(fmt.Sprintf("catch-up delay of node %d", nodeIdx), delay, a.delayBound); v != nil {
+			v.Server = nodeIdx
+			v.Time = c.eng.Now()
+			c.audDelayViol = v
+		}
+		return
+	}
 	if a.violation != nil {
 		return
 	}
@@ -144,8 +205,19 @@ func (a *auditor) onDelay(nodeIdx int, delay time.Duration) {
 // onTreeMutation re-checks the overlay tree immediately after a failover
 // mutation (crash-time repair, detection-driven reparent, recovery rejoin),
 // so a mutation that corrupts the tree is caught at the event that caused it
-// rather than at the next cadence sweep.
-func (a *auditor) onTreeMutation(where string) {
+// rather than at the next cadence sweep. In a sharded run the tree spans
+// cells, so the re-check cannot run on the mutating worker; the mutation is
+// flagged in node nodeIdx's cell and the coordinator re-checks at the next
+// barrier, when every cell is quiescent.
+func (a *auditor) onTreeMutation(nodeIdx int, where string) {
+	if a.s.sharded() {
+		c := a.s.cell(nodeIdx)
+		if c.audPendingTree == 0 {
+			c.audTreeWhere = where
+		}
+		c.audPendingTree++
+		return
+	}
 	if a.violation != nil {
 		return
 	}
@@ -154,6 +226,57 @@ func (a *auditor) onTreeMutation(where string) {
 		v.Detail = where + ": " + v.Detail
 		a.fail(v)
 	}
+}
+
+// barrier is the sharded auditor driver, invoked by the coordinator at every
+// window barrier (and once more after the run drains) with the barrier time.
+// Cells are quiescent, so it may read any cell's state: it promotes
+// cell-local delay findings in deterministic cell order, re-checks the tree
+// if any cell flagged a failover mutation since the last barrier, and runs
+// the full cadence sweep whenever the barrier crosses a cadence boundary. A
+// non-nil return aborts the sharded run with the violation.
+func (a *auditor) barrier(now time.Duration) error {
+	if a.violation != nil {
+		return a.violation
+	}
+	for _, c := range a.s.cells {
+		if c.audDelayViol != nil {
+			a.violation = c.audDelayViol
+			return a.violation
+		}
+	}
+	where, pending := "", false
+	for _, c := range a.s.cells {
+		if c.audPendingTree > 0 {
+			if !pending {
+				where = c.audTreeWhere
+			}
+			pending = true
+			c.audPendingTree = 0
+			c.audTreeWhere = ""
+		}
+	}
+	if pending {
+		a.checks++
+		if v := a.checkTree(); v != nil {
+			v.Detail = where + ": " + v.Detail
+			v.Time = now
+			a.violation = v
+			return v
+		}
+	}
+	if now >= a.nextSweep {
+		a.checks++
+		if v := a.check(); v != nil {
+			v.Time = now
+			a.violation = v
+			return v
+		}
+		for a.nextSweep <= now {
+			a.nextSweep += a.cadence
+		}
+	}
+	return nil
 }
 
 // checkTree runs the shared structural predicate in live (tolerant) mode: a
@@ -204,9 +327,14 @@ func (a *auditor) check() *audit.Violation {
 		return v
 	}
 	// The copy-free view keeps the per-sweep conservation check from cloning
-	// the whole per-sender ledger every cadence. The auditor only runs
-	// serial, so cell 0 holds the whole run's state.
-	return audit.CheckAccounting(s.cells[0].net.View())
+	// the whole per-sender ledger every cadence. Each cell books its own
+	// senders' traffic, so the ledger invariants hold cell by cell.
+	for _, c := range s.cells {
+		if v := audit.CheckAccounting(c.net.View()); v != nil {
+			return v
+		}
+	}
+	return nil
 }
 
 // checkNodes verifies per-node version and catch-up accounting invariants:
@@ -216,8 +344,12 @@ func (a *auditor) check() *audit.Violation {
 // and a down node is never counted live by the tree bookkeeping.
 func (a *auditor) checkNodes() *audit.Violation {
 	s := a.s
-	published := s.cells[0].published
 	for i, nd := range s.nodes {
+		// Each cell advances its own published marker, and a node's version
+		// only moves through its own cell's events, so the bound that is
+		// exact at any barrier is the node's own cell's published — a lagging
+		// (idle-skipped) cell simply has both sides lagging together.
+		published := s.cell(i).published
 		if nd.version < 0 || nd.version > published {
 			v := violationAt("version-bounds", i,
 				"node %d holds version %d outside [0, %d]", i, nd.version, published)
@@ -279,47 +411,53 @@ func (a *auditor) checkVisitTraffic() *audit.Violation {
 	if !s.cfg.AccountVisits {
 		return nil
 	}
-	c := s.cells[0]
-	if got := c.net.View().Class(netmodel.ClassContent).Messages; got != c.visitsAccounted {
-		return violationAt("visit-traffic-conservation", -1,
-			"ledger holds %d content messages for %d accounted visits", got, c.visitsAccounted)
+	// A visit is booked in the ledger and the counter of the same cell, so
+	// the conservation law holds per cell — strictly stronger than comparing
+	// the sums.
+	for i, c := range s.cells {
+		if got := c.net.View().Class(netmodel.ClassContent).Messages; got != c.visitsAccounted {
+			return violationAt("visit-traffic-conservation", -1,
+				"cell %d ledger holds %d content messages for %d accounted visits", i, got, c.visitsAccounted)
+		}
 	}
 	return nil
 }
 
-// counterView lists every cumulative counter with its current value; each
-// must be non-negative and monotone between sweeps.
+// counterView lists every cumulative counter with its current value, summed
+// across cells; each must be non-negative and monotone between sweeps
+// (per-cell counters only grow, so their sums do too).
 func (a *auditor) counterView() map[string]int {
 	s := a.s
-	c := s.cells[0]
-	return map[string]int{
-		"crashes":                c.crashes,
-		"recoveries":             c.recoveries,
-		"failedVisits":           c.failedVisits,
-		"userFailovers":          c.userFailovers,
-		"serverReparents":        c.serverReparents,
-		"ttlFallbacks":           c.ttlFallbacks,
-		"staleObservations":      c.staleObservations,
-		"updateMsgsToServers":    c.updateMsgsToServers,
-		"updateMsgsFromProvider": c.updateMsgsFromProvider,
-		"lightMsgs":              c.lightMsgs,
-		"dnsVisits":              c.dnsVisits,
-		"dnsRedirects":           c.dnsRedirects,
-		"deliverAttempts":        c.deliverAttempts,
-		"deliverSends":           c.deliverSends,
-		"visitsAccounted":        c.visitsAccounted,
-		"degradedEnters":         c.degradedEnters,
-		"degradedExits":          c.degradedExits,
-		"providerSwitches":       c.providerSwitches,
-		"peerHandoffs":           c.peerHandoffs,
+	view := map[string]int{
 		// The modeled population is constant, so the monotone-counter check
 		// doubles as a second population-conservation signal.
 		"modeledUsers": s.um.totalUsers(),
 	}
+	for _, c := range s.cells {
+		view["crashes"] += c.crashes
+		view["recoveries"] += c.recoveries
+		view["failedVisits"] += c.failedVisits
+		view["userFailovers"] += c.userFailovers
+		view["serverReparents"] += c.serverReparents
+		view["ttlFallbacks"] += c.ttlFallbacks
+		view["staleObservations"] += c.staleObservations
+		view["updateMsgsToServers"] += c.updateMsgsToServers
+		view["updateMsgsFromProvider"] += c.updateMsgsFromProvider
+		view["lightMsgs"] += c.lightMsgs
+		view["dnsVisits"] += c.dnsVisits
+		view["dnsRedirects"] += c.dnsRedirects
+		view["deliverAttempts"] += c.deliverAttempts
+		view["deliverSends"] += c.deliverSends
+		view["visitsAccounted"] += c.visitsAccounted
+		view["degradedEnters"] += c.degradedEnters
+		view["degradedExits"] += c.degradedExits
+		view["providerSwitches"] += c.providerSwitches
+		view["peerHandoffs"] += c.peerHandoffs
+	}
+	return view
 }
 
 func (a *auditor) checkCounters() *audit.Violation {
-	c := a.s.cells[0]
 	cur := a.counterView()
 	for name, val := range cur {
 		if val < 0 {
@@ -330,21 +468,29 @@ func (a *auditor) checkCounters() *audit.Violation {
 		}
 	}
 	a.prevCounters = cur
-	// Cross-counter relationships.
-	if v := audit.CheckCount("recoveries vs crashes", c.recoveries, c.crashes); v != nil {
-		return v
+	// Cross-counter relationships hold cell by cell: a crash, its recovery,
+	// a failed visit and the failover it triggers, and a DNS lookup are all
+	// booked in the cell that owns the node (users never leave their home
+	// cell), so the per-cell check is strictly stronger than the summed one.
+	for i, c := range a.s.cells {
+		if v := audit.CheckCount(fmt.Sprintf("cell %d recoveries vs crashes", i), c.recoveries, c.crashes); v != nil {
+			return v
+		}
+		if len(c.recoverySeconds) != c.recoveries {
+			return violationAt("catchup-accounting", -1,
+				"cell %d: %d recovery durations recorded for %d recoveries", i, len(c.recoverySeconds), c.recoveries)
+		}
+		if v := audit.CheckCount(fmt.Sprintf("cell %d userFailovers vs failedVisits", i), c.userFailovers, c.failedVisits); v != nil {
+			return v
+		}
+		if v := audit.CheckCount(fmt.Sprintf("cell %d dnsRedirects vs dnsVisits", i), c.dnsRedirects, c.dnsVisits); v != nil {
+			return v
+		}
+		if v := audit.CheckSeries("recoverySeconds", c.recoverySeconds); v != nil {
+			return v
+		}
 	}
-	if len(c.recoverySeconds) != c.recoveries {
-		return violationAt("catchup-accounting", -1,
-			"%d recovery durations recorded for %d recoveries", len(c.recoverySeconds), c.recoveries)
-	}
-	if v := audit.CheckCount("userFailovers vs failedVisits", c.userFailovers, c.failedVisits); v != nil {
-		return v
-	}
-	if v := audit.CheckCount("dnsRedirects vs dnsVisits", c.dnsRedirects, c.dnsVisits); v != nil {
-		return v
-	}
-	return audit.CheckSeries("recoverySeconds", c.recoverySeconds)
+	return nil
 }
 
 // checkFederation verifies the federation runtime's conservation invariants
@@ -408,20 +554,23 @@ func (a *auditor) checkFederation() *audit.Violation {
 // entered the network or was dropped with a recorded cause. An attempt
 // unaccounted for in either column means a message silently vanished.
 func (a *auditor) checkDelivery() *audit.Violation {
-	c := a.s.cells[0]
-	dropped := 0
-	for cause, n := range c.deliverDrops {
-		if n < 0 {
-			return violationAt("delivery-conservation", -1, "drop cause %q count %d", cause, n)
+	// Attempts, sends, and drops are all booked in the sender's cell, so
+	// delivery conservation holds per cell.
+	for i, c := range a.s.cells {
+		dropped := 0
+		for cause, n := range c.deliverDrops {
+			if n < 0 {
+				return violationAt("delivery-conservation", -1, "cell %d drop cause %q count %d", i, cause, n)
+			}
+			dropped += n
 		}
-		dropped += n
-	}
-	if c.deliverAttempts != c.deliverSends+dropped {
-		v := violationAt("delivery-conservation", -1,
-			"%d delivery attempts != %d sends + %d recorded drops",
-			c.deliverAttempts, c.deliverSends, dropped)
-		v.Snapshot = fmt.Sprintf("drops=%v", c.deliverDrops)
-		return v
+		if c.deliverAttempts != c.deliverSends+dropped {
+			v := violationAt("delivery-conservation", -1,
+				"cell %d: %d delivery attempts != %d sends + %d recorded drops",
+				i, c.deliverAttempts, c.deliverSends, dropped)
+			v.Snapshot = fmt.Sprintf("drops=%v", c.deliverDrops)
+			return v
+		}
 	}
 	return nil
 }
@@ -429,7 +578,31 @@ func (a *auditor) checkDelivery() *audit.Violation {
 func (a *auditor) nodeSnapshot(nd *node) string {
 	return fmt.Sprintf("node %d: version=%d gen=%d down=%v recovering=%v syncTarget=%d catchupSum=%v catchupN=%d published=%d",
 		nd.idx, nd.version, nd.gen, nd.down, nd.recovering, nd.syncTarget,
-		nd.catchupSum, nd.catchupN, a.s.cells[0].published)
+		nd.catchupSum, nd.catchupN, a.s.cell(nd.idx).published)
+}
+
+// scheduleAuditSelfTest arms the deliberate corruption named by
+// AuditOptions.SelfTest: one event halfway through the run flips a single
+// invariant, scheduled in the cell that owns the mutated state so the
+// injection is legal under sharding. The run must then fail with the matching
+// property — proving the tripwire end-to-end. withDefaults has already
+// validated the name.
+func (s *simulation) scheduleAuditSelfTest() {
+	at := s.horizon / 2
+	switch s.cfg.Audit.SelfTest {
+	case "version-bounds":
+		// Push a replica's version far beyond anything published. Versions
+		// only ever move forward, so the corruption cannot self-heal through
+		// an ordinary fetch before the next sweep observes it.
+		s.at(1, at, func() { s.nodes[1].version += 1 << 20 })
+	case "counter-negative":
+		// Drive a cumulative counter far negative; the next counter sweep
+		// trips counter-nonnegative.
+		s.at(0, at, func() { s.cell(0).lightMsgs -= 1 << 40 })
+	case "delivery-conservation":
+		// Book a delivery attempt with no matching send or drop.
+		s.at(0, at, func() { s.cell(0).deliverAttempts++ })
+	}
 }
 
 // violationAt builds a violation pinned to one server (or -1 for global).

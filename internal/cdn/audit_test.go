@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -211,6 +212,94 @@ func TestAuditorCatchesSeededCorruption(t *testing.T) {
 				t.Errorf("violation stamped at %v, before the corruption at 4m", v.Time)
 			}
 		})
+	}
+}
+
+// Sharded runs drive the auditor from window barriers instead of engine
+// events. Three things must hold at once, across every fault scenario: the
+// audited run completes with zero violations, it is worker-count invariant
+// like any other sharded run, and — because barrier sweeps add no engine
+// events — its Result is bit-identical to the unaudited run, Events included.
+func TestShardedAuditMatrix(t *testing.T) {
+	scenarios := append([]string{""}, fault.ScenarioNames()...)
+	const seed = 3
+	pop := equivPopulation(t, 12, 110, seed)
+	for _, scenario := range scenarios {
+		name := scenario
+		if name == "" {
+			name = "none"
+		}
+		scenario := scenario
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mk := func(shards int, auditOn bool) *Result {
+				cfg := shardConfig(t, consistency.MethodTTL, consistency.InfraUnicast, seed, pop, scenario, shards, 8)
+				cfg.UserModel = UserModelCohort
+				if auditOn {
+					cfg.Audit = &AuditOptions{Cadence: time.Second}
+				}
+				return mustRun(t, cfg)
+			}
+			plain, aud1, aud4 := mk(4, false), mk(1, true), mk(4, true)
+			if aud4.AuditChecks == 0 {
+				t.Fatal("sharded auditor never ran")
+			}
+			if !reflect.DeepEqual(aud1, aud4) {
+				t.Errorf("audited sharded run not worker-count invariant:\n  1 worker: %+v\n  4 workers: %+v", aud1, aud4)
+			}
+			stripped := *aud4
+			stripped.AuditChecks = 0
+			if !reflect.DeepEqual(plain, &stripped) {
+				t.Errorf("auditing perturbed the sharded run:\n  off: %+v\n  on:  %+v", plain, &stripped)
+			}
+		})
+	}
+}
+
+// AuditOptions.SelfTest arms one named, deliberate corruption mid-run; the run
+// must then fail with exactly the matching property, in both execution modes.
+// This is the operator-facing end-to-end proof that the tripwire is live —
+// the in-process analogue of TestAuditorCatchesSeededCorruption.
+func TestAuditSelfTest(t *testing.T) {
+	const seed = 3
+	pop := equivPopulation(t, 12, 110, seed)
+	cases := []struct{ name, property string }{
+		{"version-bounds", "version-bounds"},
+		{"counter-negative", "counter-nonnegative"},
+		{"delivery-conservation", "delivery-conservation"},
+	}
+	modes := []struct {
+		name          string
+		shards, cells int
+	}{{"serial", 0, 0}, {"sharded", 4, 8}}
+	for _, mode := range modes {
+		for _, tc := range cases {
+			mode, tc := mode, tc
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := shardConfig(t, consistency.MethodTTL, consistency.InfraUnicast, seed, pop, "", mode.shards, mode.cells)
+				cfg.UserModel = UserModelCohort
+				cfg.Audit = &AuditOptions{Cadence: time.Second, SelfTest: tc.name}
+				_, err := Run(cfg)
+				var v *audit.Violation
+				if !errors.As(err, &v) {
+					t.Fatalf("self-test %q returned %v, want an audit violation", tc.name, err)
+				}
+				if v.Property != tc.property {
+					t.Errorf("self-test %q tripped property %q, want %q (%v)", tc.name, v.Property, tc.property, v)
+				}
+			})
+		}
+	}
+}
+
+// An unknown self-test name is a configuration error, not a silent no-op: a
+// typo must never let a run that was supposed to prove the tripwire pass.
+func TestAuditSelfTestValidation(t *testing.T) {
+	cfg := auditTestConfig(t, consistency.MethodTTL, consistency.InfraUnicast)
+	cfg.Audit = &AuditOptions{SelfTest: "bogus"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown audit self-test name accepted")
 	}
 }
 

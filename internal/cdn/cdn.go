@@ -9,6 +9,7 @@ package cdn
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"cdnconsistency/internal/consistency"
@@ -151,8 +152,10 @@ type Config struct {
 	// the run and after every failover tree mutation, and the first
 	// violation aborts the run as its error. The auditor observes state
 	// without mutating it or drawing randomness, so all reported metrics
-	// are identical with auditing on or off (only Result.Events grows, by
-	// the sweep events).
+	// are identical with auditing on or off. In a serial run sweeps are
+	// engine events (Result.Events grows by the sweep count); in a sharded
+	// run (Shards > 0) sweeps execute at window barriers instead, so even
+	// Result.Events is unchanged.
 	Audit *AuditOptions
 
 	// Ctx, when set, is polled at a fixed event stride inside the event
@@ -178,15 +181,23 @@ type Config struct {
 	// worker count changes only wall-clock time, never output. Sharded runs
 	// are a different simulation than serial runs of the same seed (cells
 	// draw independent RNG streams), and a few inherently global features
-	// are unavailable: UseDNSRouting, UserSwitchEveryVisit, Audit,
-	// OnCatchUp, and multicast tree mutation (Failover/RepairTree under
-	// InfraMulticast).
+	// are unavailable: UseDNSRouting, UserSwitchEveryVisit, OnCatchUp, and
+	// multicast tree mutation (Failover/RepairTree under InfraMulticast).
+	// The runtime auditor composes with sharding: its sweeps run at window
+	// barriers (see AuditOptions).
 	Shards int
 	// ShardCells is the partition granularity for sharded runs: the number
 	// of topology cells (clamped to the number of partition atoms). It is
 	// part of the simulation's identity — changing it changes results —
 	// so invariance suites fix ShardCells and vary Shards. Default 8.
 	ShardCells int
+	// ShardStaticWindows disables adaptive windowing for sharded runs,
+	// pinning the fixed-lookahead barrier. Like ShardCells it is part of
+	// the simulation's identity: window fusion changes which cross-cell
+	// sends share a barrier batch, which can reorder same-timestamp
+	// arrivals — results are worker-count-invariant in either mode, but the
+	// modes are distinct simulations. Default off (adaptive windows).
+	ShardStaticWindows bool
 
 	Net  netmodel.Config
 	Seed int64
@@ -314,9 +325,6 @@ func (c Config) withDefaults() (Config, error) {
 		if c.UserSwitchEveryVisit {
 			return c, fmt.Errorf("cdn: sharded runs cannot use UserSwitchEveryVisit (visits would cross cells)")
 		}
-		if c.Audit != nil {
-			return c, fmt.Errorf("cdn: sharded runs cannot use Audit (sweeps observe global state; audit a serial run)")
-		}
 		if c.OnCatchUp != nil {
 			return c, fmt.Errorf("cdn: sharded runs cannot use OnCatchUp (callbacks would fire from multiple goroutines)")
 		}
@@ -324,8 +332,14 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("cdn: sharded runs cannot mutate the multicast tree (Failover/RepairTree); the partition is static")
 		}
 	}
-	if c.Audit != nil && c.Audit.Cadence < 0 {
-		return c, fmt.Errorf("cdn: negative audit cadence %v", c.Audit.Cadence)
+	if c.Audit != nil {
+		if c.Audit.Cadence < 0 {
+			return c, fmt.Errorf("cdn: negative audit cadence %v", c.Audit.Cadence)
+		}
+		if !ValidAuditSelfTest(c.Audit.SelfTest) {
+			return c, fmt.Errorf("cdn: unknown audit self-test %q (valid: %s)",
+				c.Audit.SelfTest, strings.Join(AuditSelfTestNames(), ", "))
+		}
 	}
 	if c.FailWindowStart == 0 && c.FailWindowFrac == 0 {
 		c.FailWindowStart, c.FailWindowFrac = 1.0/3, 1.0/3

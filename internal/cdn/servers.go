@@ -128,7 +128,7 @@ func (s *simulation) pollRetry(i, p, attempt int) {
 					s.cell(i).serverReparents++
 				}
 				if s.aud != nil {
-					s.aud.onTreeMutation(fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
+					s.aud.onTreeMutation(i, fmt.Sprintf("pollRetry reparent of %d off dead relay %d", i, p))
 				}
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"cdnconsistency/internal/audit"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/geo"
 	"cdnconsistency/internal/netmodel"
@@ -74,6 +75,13 @@ type cellState struct {
 	degradedExits    int
 	providerSwitches int
 	peerHandoffs     int
+
+	// Cell-local auditor observations, written only by the goroutine running
+	// this cell mid-window and drained by the coordinator at the next window
+	// barrier (sharded runs only; serial runs audit inline).
+	audDelayViol   *audit.Violation
+	audPendingTree int
+	audTreeWhere   string
 }
 
 // sharded reports whether this run executes under the window barrier.
@@ -134,6 +142,7 @@ func (s *simulation) initCells() error {
 		Lookahead:        lookahead,
 		Workers:          s.cfg.Shards,
 		MaxEventsPerCell: maxEventsPerCell,
+		AdaptiveWindow:   !s.cfg.ShardStaticWindows,
 	})
 	if err != nil {
 		return fmt.Errorf("cdn: %w", err)

@@ -128,8 +128,9 @@ type simulation struct {
 	// With fed == nil every classic code path runs unchanged.
 	fed *fedState
 
-	// aud is the runtime invariant auditor, nil unless cfg.Audit is set
-	// (serial runs only; withDefaults rejects Audit under sharding).
+	// aud is the runtime invariant auditor, nil unless cfg.Audit is set.
+	// Serial runs sweep via engine events; sharded runs sweep at window
+	// barriers (see auditor.barrier).
 	aud *auditor
 }
 
@@ -471,13 +472,18 @@ func (s *simulation) run() (*Result, error) {
 		}
 	}
 	if s.cfg.Audit != nil {
-		// Serial runs only (withDefaults rejects Audit under sharding):
-		// sweeps observe global state, so they must be ordinary events of
-		// the one engine, never concurrent with a handler.
+		// Sweeps observe global state, so they must never run concurrently
+		// with a handler. Serial runs make them ordinary events of the one
+		// engine; sharded runs piggyback on the window barrier, where every
+		// cell is parked — which also keeps Result.Events identical with
+		// auditing on or off.
 		s.aud = newAuditor(s)
-		if _, err := s.cells[0].eng.Every(s.aud.cadence, func(*sim.Engine) { s.aud.sweep() }); err != nil {
+		if s.sharded() {
+			s.shEng.SetBarrierHook(func(now time.Duration) error { return s.aud.barrier(now) })
+		} else if _, err := s.cells[0].eng.Every(s.aud.cadence, func(*sim.Engine) { s.aud.sweep() }); err != nil {
 			return nil, fmt.Errorf("cdn: audit cadence: %w", err)
 		}
+		s.scheduleAuditSelfTest()
 	}
 	if s.cfg.Ctx != nil || s.cfg.OnTick != nil {
 		ctx := s.cfg.Ctx
@@ -517,7 +523,11 @@ func (s *simulation) run() (*Result, error) {
 	if s.aud != nil {
 		// One final sweep over the drained state; a violation found here
 		// (or mid-run, which stopped the engine early) outranks any engine
-		// error because it explains it.
+		// error because it explains it. A sharded run first drains any
+		// cell-local observations parked since the last window barrier.
+		if s.sharded() {
+			s.aud.barrier(s.horizon) //nolint:errcheck // a violation is recorded in s.aud.violation
+		}
 		s.aud.sweep()
 		if v := s.aud.violation; v != nil {
 			return nil, v
@@ -649,7 +659,7 @@ func (s *simulation) failServer(v int) {
 		return
 	}
 	if s.aud != nil {
-		defer s.aud.onTreeMutation(fmt.Sprintf("failServer(%d)", v))
+		defer s.aud.onTreeMutation(v, fmt.Sprintf("failServer(%d)", v))
 	}
 	nd.down = true
 	nd.gen++
@@ -690,7 +700,7 @@ func (s *simulation) recoverServer(v int) {
 		return
 	}
 	if s.aud != nil {
-		defer s.aud.onTreeMutation(fmt.Sprintf("recoverServer(%d)", v))
+		defer s.aud.onTreeMutation(v, fmt.Sprintf("recoverServer(%d)", v))
 	}
 	nd.down = false
 	nd.gen++

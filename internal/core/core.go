@@ -239,9 +239,22 @@ func WithContext(ctx context.Context) Option {
 
 // WithAudit enables the runtime invariant auditor at the given sweep cadence
 // (0 selects the default). The first violated conservation property aborts
-// the run as its error; metrics are unchanged by auditing.
+// the run as its error; metrics are unchanged by auditing. Composes with
+// WithShards: a sharded run sweeps at its window barriers.
 func WithAudit(cadence time.Duration) Option {
 	return func(c *cdn.Config) { c.Audit = &cdn.AuditOptions{Cadence: cadence} }
+}
+
+// WithAuditSelfTest arms a named deliberate corruption (after WithAudit) so a
+// run proves the auditor tripwire fires end-to-end; the run must then fail
+// with the matching property. Valid names: cdn.AuditSelfTestNames.
+func WithAuditSelfTest(name string) Option {
+	return func(c *cdn.Config) {
+		if c.Audit == nil {
+			c.Audit = &cdn.AuditOptions{}
+		}
+		c.Audit.SelfTest = name
+	}
 }
 
 // WithShards runs the simulation on the sharded multi-core engine with n
@@ -249,8 +262,9 @@ func WithAudit(cadence time.Duration) Option {
 // (conservative time-window synchronization; see internal/sim.Sharded).
 // Results are a pure function of (seed, partition): any n >= 1 produces
 // bit-identical output, so the worker count is free to follow the machine.
-// Serial-only options (DNS routing, per-visit switching, the runtime
-// auditor, multicast repair) are rejected under sharding.
+// Serial-only options (DNS routing, per-visit switching, multicast repair)
+// are rejected under sharding; the runtime auditor composes (its sweeps run
+// at window barriers).
 func WithShards(n int) Option {
 	return func(c *cdn.Config) { c.Shards = n }
 }

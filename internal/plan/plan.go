@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"cdnconsistency/internal/cdn"
 	"cdnconsistency/internal/consistency"
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
@@ -166,10 +167,13 @@ type Plan struct {
 	ShardCells int `json:"shard_cells,omitempty"`
 
 	// Audit runs every cell under the runtime invariant auditor, sweeping
-	// at AuditCadence (0 = auditor default). Mutually exclusive with
-	// Shards: the auditor is serial-only.
-	Audit        bool     `json:"audit,omitempty"`
-	AuditCadence Duration `json:"audit_cadence,omitempty"`
+	// at AuditCadence (0 = auditor default). Composes with Shards: a
+	// sharded run audits at its window barriers. AuditSelfTest names a
+	// deliberate corruption (see cdn.AuditOptions.SelfTest) injected
+	// mid-run to prove the tripwire fires — a plan carrying it must FAIL.
+	Audit         bool     `json:"audit,omitempty"`
+	AuditCadence  Duration `json:"audit_cadence,omitempty"`
+	AuditSelfTest string   `json:"audit_self_test,omitempty"`
 
 	// Assert lists the SLO assertions every cell must satisfy.
 	Assert []Assertion `json:"assert"`
@@ -389,8 +393,14 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("plan %s: %w", p.Name, err)
 		}
 	}
-	if p.Audit && p.Shards > 0 {
-		return fmt.Errorf("plan %s: audit and shards are mutually exclusive (the invariant auditor is serial-only)", p.Name)
+	if p.AuditSelfTest != "" {
+		if !p.Audit {
+			return fmt.Errorf("plan %s: audit_self_test requires audit", p.Name)
+		}
+		if !cdn.ValidAuditSelfTest(p.AuditSelfTest) {
+			return fmt.Errorf("plan %s: unknown audit_self_test %q (valid: %s)",
+				p.Name, p.AuditSelfTest, strings.Join(cdn.AuditSelfTestNames(), ", "))
+		}
 	}
 	if p.Federation != nil {
 		if err := p.Federation.Validate(); err != nil {

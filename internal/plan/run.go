@@ -210,6 +210,9 @@ func (c Cell) coreOptions(v variant, opt RunOptions) ([]core.Option, error) {
 	}
 	if p.Audit {
 		opts = append(opts, core.WithAudit(p.AuditCadence.D()))
+		if p.AuditSelfTest != "" {
+			opts = append(opts, core.WithAuditSelfTest(p.AuditSelfTest))
+		}
 	}
 	if opt.Ctx != nil {
 		opts = append(opts, core.WithContext(opt.Ctx))

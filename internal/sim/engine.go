@@ -82,6 +82,11 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
+	// lastAt is the timestamp of the last event actually executed — unlike
+	// now, it never moves forward on an empty run to a horizon, so ClampNow
+	// can tell a harmless clock overshoot from a rewind across real work.
+	lastAt time.Duration
+
 	// processed counts events executed, for diagnostics and loop guards.
 	processed uint64
 	// maxEvents aborts runaway simulations; 0 means no limit.
@@ -348,6 +353,26 @@ func (e *Engine) PeekTime() (at time.Duration, ok bool) {
 	return 0, false
 }
 
+// ClampNow lowers the engine's clock to t after a run overshot it. It exists
+// for windowed executors whose final window boundary may exceed the requested
+// horizon (the sharded engine's horizon+1ns clamp): after such a run the
+// clock reads past the horizon even though no event beyond it executed, and
+// ClampNow pulls it back so every cell reports the same end time.
+//
+// A t at or after the current clock is a no-op. A t before the last executed
+// event's timestamp is an error: rewinding across real work would fabricate
+// an inconsistent timeline.
+func (e *Engine) ClampNow(t time.Duration) error {
+	if t >= e.now {
+		return nil
+	}
+	if t < e.lastAt {
+		return fmt.Errorf("sim: ClampNow(%v) before last executed event at %v", t, e.lastAt)
+	}
+	e.now = t
+	return nil
+}
+
 // Run executes events in timestamp order until the queue drains, the horizon
 // is passed, Stop is called, or the event cap is hit. A horizon of 0 means
 // run until the queue is empty. Events scheduled exactly at the horizon
@@ -414,6 +439,7 @@ func (e *Engine) run(limit time.Duration, bound runBound) error {
 		e.popTop()
 		e.retire(it.slot)
 		e.now = it.at
+		e.lastAt = it.at
 		e.processed++
 		if e.tick != nil && e.processed%e.tickStride == 0 {
 			if err := e.tick(e); err != nil {

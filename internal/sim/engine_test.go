@@ -395,3 +395,43 @@ func TestRunUntil(t *testing.T) {
 		t.Fatalf("fired = %v, Now = %v; want 3 events and 10s", fired, e.Now())
 	}
 }
+
+func TestClampNow(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := e.ScheduleAt(2*time.Second, func(*Engine) {}); err != nil {
+		t.Fatal(err)
+	}
+	// RunUntil overshoots the last executed event; ClampNow pulls the clock
+	// back anywhere in the dead zone between them.
+	if err := e.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ClampNow(6 * time.Second); err != nil || e.Now() != 5*time.Second {
+		t.Errorf("ClampNow above now: err=%v Now=%v, want no-op at 5s", err, e.Now())
+	}
+	if err := e.ClampNow(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	// Clamping to exactly the last executed event is allowed...
+	if err := e.ClampNow(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	// ...but rewinding across it would fabricate an inconsistent timeline.
+	if err := e.ClampNow(time.Second); err == nil {
+		t.Error("ClampNow before the last executed event succeeded")
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v after rejected clamp, want 2s", e.Now())
+	}
+	// A fresh engine that never ran an event can clamp to zero only.
+	f := NewEngine(1)
+	if err := f.ClampNow(0); err != nil {
+		t.Errorf("ClampNow(0) on fresh engine: %v", err)
+	}
+}

@@ -6,22 +6,47 @@
 // latency L (the minimum network propagation delay between endpoints in
 // different cells, computed at partition time), so an event executing at or
 // after time m can only schedule work in another cell at or after m+L. Each
-// round therefore picks the globally earliest pending event time m, runs every
-// cell independently up to the window boundary m+L, and only then exchanges
-// the cross-cell sends buffered during the window.
+// round computes a per-cell window boundary from the cells' pending event
+// times, runs every cell that has work inside its boundary, and only then
+// exchanges the cross-cell sends buffered during the window.
+//
+// Three properties keep the barrier cheap without giving up determinism:
+//
+//   - Idle-cell skipping: a cell whose next event lies at or beyond its
+//     boundary is not dispatched at all — its clock lags and is advanced
+//     lazily (deliveries carry their own timestamps; the final horizon pass
+//     catches the clock up), so a sparse window costs O(active cells).
+//
+//   - Adaptive windowing (opt-in via ShardedConfig.AdaptiveWindow): the
+//     boundary for cell j is the tightest bound derivable from the pending
+//     event times alone, B_j = min(min_{k≠j} t_k, t_j+L) + L, which fuses up
+//     to two static windows into one when the earliest cell runs ahead of
+//     the rest. The bound is a pure function of the per-cell event streams
+//     observed at the barrier — never of worker scheduling — so results
+//     remain bit-identical at any worker count.
+//
+//   - Zero-alloc barriers: the merge buffer, active list, and per-cell bound
+//     slices persist across windows, the (at, src, seq) sort is skipped when
+//     the concatenated outboxes are already ordered, and multi-worker runs
+//     park a persistent worker pool on an epoch counter instead of paying
+//     2×cells channel operations per window.
 //
 // Determinism does not depend on how many worker goroutines execute the
 // window: cells never share mutable state mid-window (each owns its heap, its
 // RNG, and its outbox), and the buffered cross-cell sends are merged in a
 // total order — (timestamp, source cell, per-source sequence) — by a single
-// goroutine at the barrier. Results are a pure function of (seed, partition);
-// the worker count only changes wall-clock time.
+// goroutine at the barrier. Results are a pure function of
+// (seed, partition, windowing mode); the worker count only changes wall-clock
+// time.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,19 +61,26 @@ type ShardedConfig struct {
 	Cells int
 	// Lookahead is the conservative window length: the minimum virtual-time
 	// latency of any cross-cell interaction. Must be positive. A cross-cell
-	// send scheduled to arrive sooner than the current window's end is a
-	// lookahead violation and aborts the run.
+	// send scheduled to arrive sooner than the destination cell's current
+	// window boundary is a lookahead violation and aborts the run.
 	Lookahead time.Duration
 	// Workers bounds the goroutines executing cells within a window; values
 	// outside [1, Cells] are clamped.
 	Workers int
 	// MaxEventsPerCell caps each cell's executed events (0 = no cap).
 	MaxEventsPerCell uint64
+	// AdaptiveWindow fuses windows using per-cell boundaries computed from
+	// the pending event times (see the package comment). Results stay
+	// invariant across worker counts in either mode, but the two modes are
+	// distinct simulations: window fusion changes which cross-cell sends
+	// share a barrier batch, which can reorder same-timestamp arrivals from
+	// different source cells. Pick a mode per run, not per worker count.
+	AdaptiveWindow bool
 }
 
 // ErrLookaheadViolation reports a cross-cell send scheduled to arrive before
-// the end of the window in which it was issued — the model's minimum
-// cross-cell latency (the configured Lookahead) was overstated.
+// the destination cell's window boundary — the model's minimum cross-cell
+// latency (the configured Lookahead) was overstated.
 var ErrLookaheadViolation = errors.New("sim: cross-cell send inside the conservative window")
 
 // crossEvent is one buffered cross-cell send, keyed for the deterministic
@@ -61,6 +93,28 @@ type crossEvent struct {
 	fn  func()
 }
 
+// compareCross orders buffered sends by (at, src, seq) — a total order, so
+// the merged delivery sequence is independent of outbox concatenation order.
+func compareCross(a, b crossEvent) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.src != b.src:
+		return a.src - b.src
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+// infTime marks "no pending event" in the per-cell peek table.
+const infTime = time.Duration(math.MaxInt64)
+
 // Sharded executes a fixed partition of cells under a conservative
 // time-window barrier. Construct with NewSharded, populate the cells (during
 // setup, or from events running inside them), then call Run once.
@@ -68,18 +122,46 @@ type Sharded struct {
 	cells     []*Engine
 	lookahead time.Duration
 	workers   int
+	adaptive  bool
 
 	// Per-source-cell outboxes and sequence counters. During a window each
 	// is touched only by the goroutine running that cell, so no locking is
-	// needed; the barrier's WaitGroup provides the happens-before edges.
+	// needed; the pool's epoch handshake provides the happens-before edges.
 	outbox  [][]crossEvent
 	outSeq  []uint64
 	sendErr []error
 
-	// windowEnd is the current window's boundary, written by the
-	// coordinator before workers start and read by Send for lookahead
-	// validation.
-	windowEnd time.Duration
+	// Persistent per-window scratch, written by the coordinator between
+	// windows and read by workers inside one: peek holds each cell's next
+	// event time (infTime when empty), cellEnd each cell's window boundary
+	// (read by Send for lookahead validation), active the indices of cells
+	// dispatched this window, errs each dispatched cell's RunUntil error.
+	peek     []time.Duration
+	cellEnd  []time.Duration
+	active   []int
+	errs     []error
+	mergeBuf []crossEvent
+
+	// hook, when set, runs at every window barrier (see SetBarrierHook).
+	hook func(next time.Duration) error
+
+	// processedSnap is the event-count snapshot published by the coordinator
+	// at each barrier and at the end of Run, so Processed is safe to read
+	// from other goroutines while a run is in flight.
+	processedSnap atomic.Uint64
+
+	// Worker pool state. Workers park on cond waiting for epoch to advance,
+	// drain the active list through the lock-free nextIdx cursor, then
+	// decrement pending and signal done. All fields except nextIdx are
+	// guarded by mu; the mutex hand-offs give workers a happens-before edge
+	// covering the coordinator's writes to peek/cellEnd/active/outbox.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	done     *sync.Cond
+	epoch    uint64
+	pending  int
+	poolStop bool
+	nextIdx  atomic.Int64
 }
 
 // CellSeed derives cell's deterministic RNG seed from the base seed
@@ -110,10 +192,17 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		cells:     make([]*Engine, cfg.Cells),
 		lookahead: cfg.Lookahead,
 		workers:   workers,
+		adaptive:  cfg.AdaptiveWindow,
 		outbox:    make([][]crossEvent, cfg.Cells),
 		outSeq:    make([]uint64, cfg.Cells),
 		sendErr:   make([]error, cfg.Cells),
+		peek:      make([]time.Duration, cfg.Cells),
+		cellEnd:   make([]time.Duration, cfg.Cells),
+		active:    make([]int, 0, cfg.Cells),
+		errs:      make([]error, cfg.Cells),
 	}
+	sh.cond = sync.NewCond(&sh.mu)
+	sh.done = sync.NewCond(&sh.mu)
 	for i := range sh.cells {
 		sh.cells[i] = NewEngine(CellSeed(cfg.Seed, i))
 		sh.cells[i].SetMaxEvents(cfg.MaxEventsPerCell)
@@ -135,31 +224,49 @@ func (sh *Sharded) Lookahead() time.Duration { return sh.lookahead }
 // Workers reports the clamped worker count.
 func (sh *Sharded) Workers() int { return sh.workers }
 
-// Processed sums executed events across cells.
-func (sh *Sharded) Processed() uint64 {
+// Processed reports executed events across cells. It is safe to call from
+// any goroutine, including while Run is in flight: the value is the
+// coordinator's snapshot from the most recent window barrier (events of the
+// window currently executing are not yet counted). After Run returns the
+// count is exact.
+func (sh *Sharded) Processed() uint64 { return sh.processedSnap.Load() }
+
+// snapshotProcessed publishes the current cross-cell event count. Called
+// only by the coordinator between windows, when cells are quiescent.
+func (sh *Sharded) snapshotProcessed() {
 	var n uint64
 	for _, c := range sh.cells {
 		n += c.Processed()
 	}
-	return n
+	sh.processedSnap.Store(n)
 }
+
+// SetBarrierHook installs fn to run at every window barrier: after the
+// previous window's buffered sends have been delivered and before the next
+// window's cells are dispatched. next is the upcoming window's start — the
+// globally earliest pending event time, up to which all simulation state is
+// final. The hook runs on the coordinator goroutine while every cell is
+// quiescent, so it may read cell state freely, but it must not schedule
+// events, draw from cell RNGs, or otherwise mutate cells. A non-nil error
+// aborts Run with that error. A nil fn removes the hook.
+func (sh *Sharded) SetBarrierHook(fn func(next time.Duration) error) { sh.hook = fn }
 
 // Send schedules fn to run in cell dst at absolute virtual time at. It must
 // be called from the goroutine currently executing cell src (or from
 // single-threaded setup before Run). A same-cell send schedules directly; a
 // cross-cell send is buffered in src's outbox and delivered at the next
-// window barrier, so at must not precede the current window's end — that
-// would mean the configured lookahead overstated the model's minimum
-// cross-cell latency. The violation is returned and also aborts Run at the
-// barrier, so fire-and-forget callers are still safe.
+// window barrier, so at must not precede the destination cell's window
+// boundary — that would mean the configured lookahead overstated the model's
+// minimum cross-cell latency. The violation is returned and also aborts Run
+// at the barrier, so fire-and-forget callers are still safe.
 func (sh *Sharded) Send(src, dst int, at time.Duration, fn func()) error {
 	if src == dst {
 		_, err := sh.cells[dst].ScheduleAtCall(at, fn)
 		return err
 	}
-	if at < sh.windowEnd {
-		err := fmt.Errorf("%w: cell %d -> %d at %v, window ends %v",
-			ErrLookaheadViolation, src, dst, at, sh.windowEnd)
+	if at < sh.cellEnd[dst] {
+		err := fmt.Errorf("%w: cell %d -> %d at %v, cell %d's window ends %v",
+			ErrLookaheadViolation, src, dst, at, dst, sh.cellEnd[dst])
 		if sh.sendErr[src] == nil {
 			sh.sendErr[src] = err
 		}
@@ -175,7 +282,11 @@ func (sh *Sharded) Send(src, dst int, at time.Duration, fn func()) error {
 // flush delivers every buffered cross-cell event in (at, src, seq) order.
 // Single-threaded: runs only between windows. Insertion order is total and
 // deterministic, so each destination engine assigns the same FIFO sequence
-// numbers regardless of worker count or goroutine interleaving.
+// numbers regardless of worker count or goroutine interleaving. The merge
+// buffer persists across barriers and the sort is skipped when the
+// concatenated outboxes are already ordered (the common case: sources fill
+// their outboxes in timestamp order), so a steady-state flush allocates
+// nothing.
 func (sh *Sharded) flush() error {
 	n := 0
 	for _, box := range sh.outbox {
@@ -184,28 +295,190 @@ func (sh *Sharded) flush() error {
 	if n == 0 {
 		return nil
 	}
-	all := make([]crossEvent, 0, n)
+	all := sh.mergeBuf[:0]
 	for _, box := range sh.outbox {
 		all = append(all, box...)
 	}
 	for i := range sh.outbox {
 		sh.outbox[i] = sh.outbox[i][:0]
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].at != all[j].at {
-			return all[i].at < all[j].at
-		}
-		if all[i].src != all[j].src {
-			return all[i].src < all[j].src
-		}
-		return all[i].seq < all[j].seq
-	})
+	if !slices.IsSortedFunc(all, compareCross) {
+		slices.SortFunc(all, compareCross)
+	}
+	var err error
 	for _, ev := range all {
-		if _, err := sh.cells[ev.dst].ScheduleAtCall(ev.at, ev.fn); err != nil {
-			return err
+		if _, serr := sh.cells[ev.dst].ScheduleAtCall(ev.at, ev.fn); serr != nil {
+			err = serr
+			break
+		}
+	}
+	clear(all) // release the fn closures; the spine is reused next barrier
+	sh.mergeBuf = all[:0]
+	return err
+}
+
+// planWindow computes the next window from the cells' pending event times:
+// it fills peek, cellEnd, and active, and returns the window's start (the
+// globally earliest pending event). ok is false when no cell holds an event
+// at or before the horizon, i.e. the run is complete.
+//
+// The static boundary is m+L for every cell, where m is the window start and
+// L the lookahead: an event executing at u >= m can only produce a
+// cross-cell arrival at u+L >= m+L. In adaptive mode the boundary for cell j
+// is instead the tightest bound derivable from the peeks alone,
+//
+//	B_j = min( min_{k!=j} t_k, t_j + L ) + L
+//
+// — the earliest possible arrival into j is either a direct send from the
+// earliest other cell (t_k + L) or an echo of j's own earliest send routed
+// back through a neighbor (t_j + 2L). Every cell that can execute an event
+// strictly before its boundary is dispatched; the rest are skipped and their
+// clocks lag until a later window (or the final horizon pass) advances them.
+func (sh *Sharded) planWindow(horizon time.Duration) (start time.Duration, ok bool) {
+	m, m2 := infTime, infTime
+	mIdx := -1
+	for i, c := range sh.cells {
+		t, tok := c.PeekTime()
+		if !tok {
+			sh.peek[i] = infTime
+			continue
+		}
+		sh.peek[i] = t
+		if t < m {
+			m2 = m
+			m, mIdx = t, i
+		} else if t < m2 {
+			m2 = t
+		}
+	}
+	if mIdx < 0 || (horizon > 0 && m > horizon) {
+		return 0, false
+	}
+	base := m + sh.lookahead
+	if horizon > 0 && base > horizon {
+		base = horizon + 1
+	}
+	sh.active = sh.active[:0]
+	for i := range sh.cells {
+		end := base
+		if sh.adaptive {
+			// min over the other cells' peeks: m unless i is the argmin.
+			other := m
+			if i == mIdx {
+				other = m2
+			}
+			if sh.peek[i] < infTime {
+				if own := sh.peek[i] + sh.lookahead; own < other {
+					other = own
+				}
+			}
+			if other > m { // strictly later than the static bound's base
+				end = other + sh.lookahead
+				if horizon > 0 && end > horizon {
+					end = horizon + 1
+				}
+			}
+		}
+		sh.cellEnd[i] = end
+		if sh.peek[i] < end {
+			sh.active = append(sh.active, i)
+		}
+	}
+	return m, true
+}
+
+// runWindow executes every active cell up to its boundary — inline when a
+// single worker (or a single active cell) makes goroutines pointless,
+// through the parked worker pool otherwise — then folds per-cell run errors
+// and buffered lookahead violations into the deterministic lowest-cell-index
+// error.
+func (sh *Sharded) runWindow() error {
+	if sh.workers == 1 || len(sh.active) == 1 {
+		for _, i := range sh.active {
+			sh.errs[i] = sh.cells[i].RunUntil(sh.cellEnd[i])
+		}
+	} else {
+		sh.dispatch()
+	}
+	for i := range sh.cells {
+		err := sh.errs[i]
+		if err == nil {
+			err = sh.sendErr[i]
+		}
+		if err != nil {
+			return fmt.Errorf("sim: cell %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// dispatch hands the active list to the parked worker pool and blocks until
+// every cell has run. The epoch bump under the mutex publishes the
+// coordinator's writes (peek, cellEnd, active, delivered events) to the
+// workers; the final pending decrement publishes the workers' writes back.
+func (sh *Sharded) dispatch() {
+	sh.mu.Lock()
+	sh.nextIdx.Store(0)
+	sh.pending = sh.workers
+	sh.epoch++
+	sh.cond.Broadcast()
+	for sh.pending > 0 {
+		sh.done.Wait()
+	}
+	sh.mu.Unlock()
+}
+
+// worker is one pool goroutine: it parks on the condition variable until the
+// coordinator opens a new epoch, claims active cells through the shared
+// atomic cursor, runs each to its boundary, and reports completion. It exits
+// when poolStop is set. epoch is the pool-start epoch, captured before any
+// window can be dispatched, so a worker that is slow to start still sees the
+// first dispatch as a fresh epoch.
+func (sh *Sharded) worker(epoch uint64) {
+	sh.mu.Lock()
+	for {
+		for sh.epoch == epoch && !sh.poolStop {
+			sh.cond.Wait()
+		}
+		if sh.poolStop {
+			sh.mu.Unlock()
+			return
+		}
+		epoch = sh.epoch
+		sh.mu.Unlock()
+		for {
+			i := int(sh.nextIdx.Add(1)) - 1
+			if i >= len(sh.active) {
+				break
+			}
+			cell := sh.active[i]
+			sh.errs[cell] = sh.cells[cell].RunUntil(sh.cellEnd[cell])
+		}
+		sh.mu.Lock()
+		sh.pending--
+		if sh.pending == 0 {
+			sh.done.Signal()
+		}
+	}
+}
+
+// startPool launches the persistent worker pool for one Run and returns its
+// shutdown function. The pool allocates O(workers) once per Run, not per
+// window.
+func (sh *Sharded) startPool() (stop func()) {
+	sh.mu.Lock()
+	sh.poolStop = false
+	base := sh.epoch
+	sh.mu.Unlock()
+	for w := 0; w < sh.workers; w++ {
+		go sh.worker(base)
+	}
+	return func() {
+		sh.mu.Lock()
+		sh.poolStop = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
 // Run executes all cells to completion (or to the horizon, inclusive, when
@@ -214,72 +487,30 @@ func (sh *Sharded) flush() error {
 // error by cell index — deterministic regardless of which worker hit it
 // first.
 func (sh *Sharded) Run(horizon time.Duration) error {
-	work := make(chan int, len(sh.cells))
-	type cellDone struct {
-		idx int
-		err error
+	defer sh.snapshotProcessed()
+	for i := range sh.errs {
+		sh.errs[i] = nil
 	}
-	done := make(chan cellDone, len(sh.cells))
 	if sh.workers > 1 {
-		for w := 0; w < sh.workers; w++ {
-			go func() {
-				for idx := range work {
-					// The channel receive orders this read of windowEnd
-					// after the coordinator's write.
-					done <- cellDone{idx, sh.cells[idx].RunUntil(sh.windowEnd)}
-				}
-			}()
-		}
-		defer close(work)
+		defer sh.startPool()()
 	}
-
-	errs := make([]error, len(sh.cells))
 	for {
 		if err := sh.flush(); err != nil {
 			return err
 		}
-		var m time.Duration
-		none := true
-		for _, c := range sh.cells {
-			if t, ok := c.PeekTime(); ok && (none || t < m) {
-				m, none = t, false
-			}
-		}
-		if none || (horizon > 0 && m > horizon) {
+		start, ok := sh.planWindow(horizon)
+		if !ok {
 			break
 		}
-		// The window [m, m+L): any event executing at u >= m can only
-		// produce a cross-cell arrival at u+L >= m+L, i.e. in a later
-		// window — so cells are causally independent inside it. Events
-		// exactly at the horizon still fire (matching Engine.Run), hence
-		// the +1ns clamp.
-		windowEnd := m + sh.lookahead
-		if horizon > 0 && windowEnd > horizon {
-			windowEnd = horizon + 1
-		}
-		sh.windowEnd = windowEnd
-
-		if sh.workers == 1 {
-			for i, c := range sh.cells {
-				errs[i] = c.RunUntil(windowEnd)
-			}
-		} else {
-			for i := range sh.cells {
-				work <- i
-			}
-			for range sh.cells {
-				d := <-done
-				errs[d.idx] = d.err
+		if sh.hook != nil {
+			if err := sh.hook(start); err != nil {
+				return err
 			}
 		}
-		for i, err := range errs {
-			if err == nil {
-				err = sh.sendErr[i]
-			}
-			if err != nil {
-				return fmt.Errorf("sim: cell %d: %w", i, err)
-			}
+		if err := sh.runWindow(); err != nil {
+			return err
 		}
+		sh.snapshotProcessed()
 	}
 	if err := sh.flush(); err != nil { // nothing pending unless the horizon cut the run short
 		return err
@@ -287,13 +518,15 @@ func (sh *Sharded) Run(horizon time.Duration) error {
 	if horizon > 0 {
 		for _, c := range sh.cells {
 			if c.Now() < horizon {
+				// An idle-skipped (or simply drained) cell lags; replay its
+				// empty tail so the clock lands exactly on the horizon.
 				if err := c.Run(horizon); err != nil {
 					return err
 				}
-			} else if c.now > horizon {
+			} else if err := c.ClampNow(horizon); err != nil {
 				// The final window's +1ns clamp overshot; timestamps are
-				// integral, so no event can sit between horizon and now.
-				c.now = horizon
+				// integral, so no event sits between horizon and now.
+				return err
 			}
 		}
 	}

@@ -147,14 +147,14 @@ func TestShardedMergeOrderSameTimestamp(t *testing.T) {
 // shardedTrace runs a fixed cross-cell ping-pong workload (with per-cell RNG
 // draws, so RNG state is part of what must be invariant) and returns each
 // cell's event trace.
-func shardedTrace(t *testing.T, workers int) ([][]string, uint64) {
+func shardedTrace(t *testing.T, workers int, adaptive bool) ([][]string, uint64) {
 	t.Helper()
 	const (
 		cells     = 4
 		lookahead = 100 * time.Millisecond
 		horizon   = 20 * time.Second
 	)
-	sh, err := NewSharded(ShardedConfig{Seed: 42, Cells: cells, Lookahead: lookahead, Workers: workers})
+	sh, err := NewSharded(ShardedConfig{Seed: 42, Cells: cells, Lookahead: lookahead, Workers: workers, AdaptiveWindow: adaptive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,14 +184,204 @@ func shardedTrace(t *testing.T, workers int) ([][]string, uint64) {
 }
 
 func TestShardedWorkerCountInvariance(t *testing.T) {
-	base, baseN := shardedTrace(t, 1)
-	for _, workers := range []int{2, 4, 8} {
-		got, n := shardedTrace(t, workers)
-		if n != baseN {
-			t.Errorf("workers=%d: processed %d events, want %d", workers, n, baseN)
+	for _, adaptive := range []bool{false, true} {
+		name := "static"
+		if adaptive {
+			name = "adaptive"
 		}
-		if !reflect.DeepEqual(got, base) {
-			t.Errorf("workers=%d: traces diverge from single-worker run", workers)
+		t.Run(name, func(t *testing.T) {
+			base, baseN := shardedTrace(t, 1, adaptive)
+			for _, workers := range []int{2, 4, 8} {
+				got, n := shardedTrace(t, workers, adaptive)
+				if n != baseN {
+					t.Errorf("workers=%d: processed %d events, want %d", workers, n, baseN)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("workers=%d: traces diverge from single-worker run", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedAdaptiveLookaheadViolation(t *testing.T) {
+	// Adaptive bounds must still catch an overstated lookahead: with events
+	// at 1s (cell 0) and 1.2s (cell 1), cell 1's boundary is
+	// min(1s, 1.2s+1s) + 1s = 2s, so an arrival at 1.5s is a violation.
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second, AdaptiveWindow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Cell(1).ScheduleAfter(1200*time.Millisecond, func(*Engine) {})
+	if _, err := sh.Cell(0).ScheduleAt(time.Second, func(e *Engine) {
+		sh.Send(0, 1, 1500*time.Millisecond, func() {}) //nolint:errcheck // surfaced by Run
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run(0); !errors.Is(err, ErrLookaheadViolation) {
+		t.Fatalf("Run = %v, want ErrLookaheadViolation", err)
+	}
+}
+
+// barrierCount runs a lone self-rescheduling chain in cell 0 (cell 1 stays
+// empty) and reports how many window barriers the run needed.
+func barrierCount(t *testing.T, adaptive bool) int {
+	t.Helper()
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second, AdaptiveWindow: adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain Handler
+	chain = func(e *Engine) {
+		if e.Now() < 9*time.Second {
+			e.ScheduleAfter(time.Second, chain)
 		}
+	}
+	sh.Cell(0).ScheduleAfter(time.Second, chain)
+	barriers := 0
+	sh.SetBarrierHook(func(time.Duration) error { barriers++; return nil })
+	if err := sh.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return barriers
+}
+
+func TestShardedAdaptiveFusesWindows(t *testing.T) {
+	static := barrierCount(t, false)
+	adaptive := barrierCount(t, true)
+	if adaptive >= static {
+		t.Errorf("adaptive run used %d barriers, static %d; want fewer", adaptive, static)
+	}
+	// The lone-cell bound is t+2L, so adaptive needs about half the windows.
+	if want := static/2 + 1; adaptive > want {
+		t.Errorf("adaptive run used %d barriers, want <= %d (static %d)", adaptive, want, static)
+	}
+}
+
+func TestShardedBarrierHook(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain Handler
+	chain = func(e *Engine) {
+		if e.Now() < 5*time.Second {
+			e.ScheduleAfter(time.Second, chain)
+		}
+	}
+	sh.Cell(0).ScheduleAfter(time.Second, chain)
+	var starts []time.Duration
+	sh.SetBarrierHook(func(next time.Duration) error {
+		starts = append(starts, next)
+		return nil
+	})
+	if err := sh.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) == 0 {
+		t.Fatal("barrier hook never ran")
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Errorf("barrier starts not increasing: %v", starts)
+		}
+	}
+
+	// A hook error aborts the run with that error.
+	sh2, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2.Cell(0).ScheduleAfter(time.Second, func(*Engine) {})
+	boom := errors.New("boom")
+	sh2.SetBarrierHook(func(time.Duration) error { return boom })
+	if err := sh2.Run(0); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want hook error", err)
+	}
+}
+
+func TestShardedIdleCellClockLags(t *testing.T) {
+	// An idle cell is never dispatched: its clock stays put across barriers
+	// (the hook observes it lagging) and only the final horizon pass lands it
+	// on the horizon.
+	sh, err := NewSharded(ShardedConfig{Cells: 2, Lookahead: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain Handler
+	chain = func(e *Engine) {
+		if e.Now() < 8*time.Second {
+			e.ScheduleAfter(time.Second, chain)
+		}
+	}
+	sh.Cell(0).ScheduleAfter(time.Second, chain)
+	lagged := false
+	sh.SetBarrierHook(func(next time.Duration) error {
+		if next > 2*time.Second && sh.Cell(1).Now() == 0 {
+			lagged = true
+		}
+		return nil
+	})
+	if err := sh.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !lagged {
+		t.Error("idle cell's clock advanced eagerly; want lazy (skipped) advance")
+	}
+	if now := sh.Cell(1).Now(); now != 10*time.Second {
+		t.Errorf("idle cell Now = %v after Run, want horizon", now)
+	}
+}
+
+func TestShardedProcessedConcurrent(t *testing.T) {
+	// Processed must be safe to read while Run is in flight (barrier-level
+	// snapshots) and exact once Run returns.
+	sh, err := NewSharded(ShardedConfig{Cells: 4, Lookahead: 10 * time.Millisecond, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hops = 200
+	var chain func(cell, hop int) func()
+	chain = func(cell, hop int) func() {
+		return func() {
+			if hop >= hops {
+				return
+			}
+			dst := (cell + 1) % 4
+			at := sh.Cell(cell).Now() + 10*time.Millisecond
+			sh.Send(cell, dst, at, chain(dst, hop+1)) //nolint:errcheck // surfaced by Run
+		}
+	}
+	sh.Cell(0).ScheduleAfter(time.Millisecond, func(*Engine) { chain(0, 0)() })
+	stop := make(chan struct{})
+	read := make(chan struct{})
+	go func() {
+		defer close(read)
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := sh.Processed()
+			if n < last {
+				t.Errorf("Processed went backwards: %d after %d", n, last)
+				return
+			}
+			last = n
+		}
+	}()
+	if err := sh.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-read
+	var want uint64
+	for i := 0; i < sh.Cells(); i++ {
+		want += sh.Cell(i).Processed()
+	}
+	if got := sh.Processed(); got != want {
+		t.Errorf("Processed = %d after Run, want exact %d", got, want)
 	}
 }

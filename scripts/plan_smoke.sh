@@ -7,7 +7,10 @@
 #      journal records a finished cell, then resume and require the resumed
 #      stdout and junit report to be byte-identical to the uninterrupted run,
 #   3. run a seeded-violation plan and require a non-zero exit plus a junit
-#      <failure> carrying the assertion message.
+#      <failure> carrying the assertion message,
+#   4. run the seeded audit-tripwire plan (deliberate mid-run corruption via
+#      audit_self_test under the sharded engine) and require the barrier
+#      auditor to catch it.
 #
 # Any SLO regression, torn journal, resume divergence, or a seeded violation
 # that the harness fails to catch fails the script.
@@ -65,3 +68,13 @@ fi
 grep -q '<failure message=' "$TMP/seeded.xml"
 grep -q 'p99_user_inconsistency' "$TMP/seeded.xml"
 echo "plan-smoke: OK — seeded violation failed with the assertion message in the junit report"
+
+echo "plan-smoke: seeded audit tripwire (sharded audit_self_test) must fail"
+if "$TMP/experiments" -plan plans/seeded/bad-audit-tripwire.json -junit "$TMP/tripwire.xml" \
+    >"$TMP/tripwire.out" 2>/dev/null; then
+    echo "plan-smoke: FAIL — audit self-test corruption passed the sharded auditor" >&2
+    exit 1
+fi
+grep -q '<failure message=' "$TMP/tripwire.xml"
+grep -q 'audit_violations' "$TMP/tripwire.xml"
+echo "plan-smoke: OK — sharded barrier auditor caught the seeded corruption"
