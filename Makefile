@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv plan-smoke federation-smoke
+.PHONY: check build vet test race bench bench-smoke profile experiments fuzz audit-smoke cover shard-equiv plan-smoke federation-smoke import-smoke
 
 check: build vet race
 
@@ -73,15 +73,25 @@ plan-smoke:
 federation-smoke:
 	./scripts/federation_smoke.sh
 
+# Trace-import smoke: regenerate the committed crawl fixture, require the
+# inferred bundle to match plans/bundles/smoke.json byte-for-byte, check
+# format convergence and deterministic replay, and run the import plan.
+import-smoke:
+	./scripts/import_smoke.sh
+
 # Short fuzz smoke over the tree fail/recover repair, the fault-scenario
-# compiler, and the population-spec, federation-spec and scenario-plan
-# parsers (one -fuzz pattern per package run, as go test requires).
+# compiler, the population-spec, federation-spec and scenario-plan parsers,
+# the access-log parser, and the whole trace-import path (one -fuzz pattern
+# per package run, as go test requires; patterns are anchored where a
+# package holds several fuzz targets).
 fuzz:
 	$(GO) test ./internal/overlay -run '^$$' -fuzz FuzzTreeFailRecover -fuzztime 10s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzCompile -fuzztime 10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParsePopulation -fuzztime 10s
 	$(GO) test ./internal/federation -run '^$$' -fuzz FuzzParseFederation -fuzztime 10s
 	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParsePlan -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz 'FuzzParseAccessLog$$' -fuzztime 10s
+	$(GO) test ./internal/traceimport -run '^$$' -fuzz 'FuzzImportTrace$$' -fuzztime 10s
 
 # Coverage ratchet: per-package line-coverage floors on the packages the
 # cohort user model touches. See scripts/coverage.sh for the floor table.

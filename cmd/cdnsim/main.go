@@ -16,6 +16,7 @@
 //	cdnsim -system HAT -shards 4 -audit    # sharded AND audited (barrier sweeps)
 //	cdnsim -system HAT -timeout 2m         # abort if the run exceeds 2 minutes
 //	cdnsim -plan plans/10-baseline.json    # run a scenario plan's cells serially
+//	cdnsim -system HAT -import crawl.jsonl # replay an imported deployment (trace or bundle)
 //	cdnsim -system HAT -cpuprofile cpu.out # pprof CPU profile (also -memprofile, -trace)
 //
 // SIGINT/SIGTERM cancels the simulation promptly at its next event-loop
@@ -42,6 +43,7 @@ import (
 	"cdnconsistency/internal/plan"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/stats"
+	"cdnconsistency/internal/traceimport"
 	"cdnconsistency/internal/workload"
 )
 
@@ -80,6 +82,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		auditCad  = fs.Duration("audit-cadence", 0, "auditor sweep cadence in simulated time (0 = auditor default)")
 		auditSelf = fs.String("audit-self-test", "", "inject a named deliberate corruption mid-run to prove the auditor tripwire fires; the run must fail (requires -audit; names: "+strings.Join(cdn.AuditSelfTestNames(), ", ")+")")
 		planFile  = fs.String("plan", "", "run one scenario plan file (JSON) serially, printing every check and metric per cell; other simulation flags are ignored")
+		importArg = fs.String("import", "", "replay an imported deployment: a crawl trace (JSONL or #cdnlog access log, inferred on the fly) or a pre-inferred bundle JSON; supplies the topology, TTLs, workload, population, and fault windows, so the flags those replace are rejected")
 		timeout   = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
@@ -106,6 +109,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		defer cancel()
 	}
 	if *planFile != "" {
+		if *importArg != "" {
+			return fmt.Errorf("-plan and -import are mutually exclusive (a plan names its import inside the file)")
+		}
 		return runPlan(ctx, *planFile, stdout)
 	}
 
@@ -114,47 +120,72 @@ func run(ctx context.Context, args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 
-	opts := []core.Option{
-		core.WithServers(*servers),
-		core.WithUsersPerServer(*users),
-		core.WithServerTTL(*serverTTL),
-		core.WithUserTTL(*userTTL),
-		core.WithUpdateSizeKB(*updateKB),
-		core.WithClusters(*clusters),
-		core.WithSeed(*seed),
-	}
-	if *switching {
-		opts = append(opts, core.WithUserSwitching())
-	}
-	pop, err := resolvePopulation(*usermodel, *popFile, *servers, *users, *cohorts, *userTTL, *seed)
-	if err != nil {
-		return err
-	}
-	if pop != nil {
-		opts = append(opts, core.WithPopulation(pop))
-	}
-	if *usermodel != "" {
-		opts = append(opts, core.WithUserModel(*usermodel))
-	}
-	if *faults != "" {
-		spec, err := resolveFaults(*faults)
+	var opts []core.Option
+	if *importArg != "" {
+		if err := rejectImportConflicts(fs); err != nil {
+			return err
+		}
+		b, format, err := traceimport.LoadAny(*importArg)
 		if err != nil {
 			return err
 		}
-		opts = append(opts, core.WithFaults(spec))
-	}
-	if *fed != "" {
-		if *shards > 0 {
-			// Fail the flag combination up front instead of run by run inside
-			// the cdn layer. (-audit has no such gate: sharded runs sweep at
-			// window barriers.)
-			return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
-		}
-		spec, err := resolveFederation(*fed)
+		s := b.Summary
+		fmt.Fprintf(stdout, "import\t%s format=%s servers=%d sites=%d users=%d server_ttl=%v updates_per_day=%.0f fault_windows=%d\n",
+			*importArg, format, s.Servers, s.Sites, s.Users, s.ServerTTL.D(), s.UpdatesPerDay, len(b.CrashWindows()))
+		bopts, err := b.Options()
 		if err != nil {
 			return err
 		}
-		opts = append(opts, core.WithFederation(spec))
+		// Seed first: the bundle's game schedule is drawn from the seed
+		// in effect when its option applies.
+		opts = append(opts, core.WithClusters(*clusters), core.WithSeed(*seed))
+		opts = append(opts, bopts...)
+		if *usermodel != "" {
+			opts = append(opts, core.WithUserModel(*usermodel))
+		}
+	} else {
+		opts = []core.Option{
+			core.WithServers(*servers),
+			core.WithUsersPerServer(*users),
+			core.WithServerTTL(*serverTTL),
+			core.WithUserTTL(*userTTL),
+			core.WithUpdateSizeKB(*updateKB),
+			core.WithClusters(*clusters),
+			core.WithSeed(*seed),
+		}
+		if *switching {
+			opts = append(opts, core.WithUserSwitching())
+		}
+		pop, err := resolvePopulation(*usermodel, *popFile, *servers, *users, *cohorts, *userTTL, *seed)
+		if err != nil {
+			return err
+		}
+		if pop != nil {
+			opts = append(opts, core.WithPopulation(pop))
+		}
+		if *usermodel != "" {
+			opts = append(opts, core.WithUserModel(*usermodel))
+		}
+		if *faults != "" {
+			spec, err := resolveFaults(*faults)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, core.WithFaults(spec))
+		}
+		if *fed != "" {
+			if *shards > 0 {
+				// Fail the flag combination up front instead of run by run inside
+				// the cdn layer. (-audit has no such gate: sharded runs sweep at
+				// window barriers.)
+				return fmt.Errorf("-shards and -federation are mutually exclusive (the federation layer is serial-only)")
+			}
+			spec, err := resolveFederation(*fed)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, core.WithFederation(spec))
+		}
 	}
 	if *failover {
 		opts = append(opts, core.WithFailover())
@@ -221,6 +252,27 @@ func runPlan(ctx context.Context, path string, stdout io.Writer) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d plan cells failed", failed, total)
+	}
+	return nil
+}
+
+// rejectImportConflicts fails up front when -import is combined with a flag
+// the imported bundle already supplies. Only flags the user actually set
+// are conflicts; defaults pass through untouched.
+func rejectImportConflicts(fs *flag.FlagSet) error {
+	conflicts := map[string]bool{
+		"servers": true, "users": true, "serverttl": true, "userttl": true,
+		"updatekb": true, "population": true, "cohorts": true, "switch": true,
+		"faults": true, "federation": true, "shards": true, "shardcells": true,
+	}
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if conflicts[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("-import supplies the deployment; drop the conflicting flags: %s", strings.Join(bad, ", "))
 	}
 	return nil
 }

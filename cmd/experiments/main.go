@@ -27,6 +27,7 @@
 //	experiments -resume d            # continue an interrupted sweep from d
 //	experiments -timeout 10m         # per-figure deadline
 //	experiments -stuck 2m            # report (not kill) figures still running after 2m
+//	experiments -import crawl.jsonl  # replay an imported deployment as the import-replay figure
 //	experiments -cpuprofile cpu.out  # pprof CPU profile of the whole run
 //	experiments -memprofile mem.out  # pprof heap profile (post-GC, at exit)
 //	experiments -trace trace.out     # runtime execution trace
@@ -66,6 +67,7 @@ import (
 	"cdnconsistency/internal/figures"
 	"cdnconsistency/internal/profiling"
 	"cdnconsistency/internal/runner"
+	"cdnconsistency/internal/traceimport"
 )
 
 func main() {
@@ -114,6 +116,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memprof   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
+		importArg = fs.String("import", "", "replay an imported deployment — a crawl trace (JSONL or #cdnlog access log) or a pre-inferred bundle JSON — as the single import-replay figure; figure-selection flags it replaces are rejected")
 		planFile  = fs.String("plan", "", "run one scenario plan file (JSON) as a system x seed matrix with SLO assertions, instead of figures")
 		planDir   = fs.String("plan-catalog", "", "run every *.json scenario plan in this directory (sorted by filename), instead of figures")
 		junitOut  = fs.String("junit", "", "write a junit-style XML report of plan cells to this file (plan mode only)")
@@ -153,7 +156,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		var bad []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scale", "only", "format", "faults", "shards", "audit", "audit-cadence", "federation":
+			case "scale", "only", "format", "faults", "shards", "audit", "audit-cadence", "federation", "import":
 				bad = append(bad, "-"+f.Name)
 			}
 		})
@@ -213,6 +216,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		}
 	}
 
+	// Import mode: the sweep collapses to the single import-replay figure,
+	// so figure-selection flags are rejected rather than silently ignored.
+	var importBundle *traceimport.Bundle
+	if *importArg != "" {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "only", "faults", "federation", "shards":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("%s: figure-selection flags cannot be combined with -import", strings.Join(bad, ", "))
+		}
+		var err error
+		if importBundle, _, err = traceimport.LoadAny(*importArg); err != nil {
+			return err
+		}
+	}
+
 	// Open the checkpoint journal, if any. -resume implies journaling to the
 	// same directory; a fresh -checkpoint refuses a directory that already
 	// holds progress so recorded outputs are never silently replayed without
@@ -238,6 +262,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 			"audit":         strconv.FormatBool(*audit),
 			"audit-cadence": auditCad.String(),
 			"federation":    *fedFlag,
+			"import":        *importArg,
 		}}
 		var err error
 		journal, err = checkpoint.Open(ckDir, meta)
@@ -321,6 +346,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		simJob("ablation-adaptive", figures.AblationAdaptive),
 		simJob("ablation-hilbert", figures.AblationHilbert),
 		simJob("ablation-depth", figures.AblationFailure),
+	}
+	if importBundle != nil {
+		jobs = []job{simJob("import-replay", func(s figures.SimScale) (*figures.Table, error) {
+			return figures.ImportReplay(s, importBundle)
+		})}
 	}
 	if *faults != "" {
 		names := strings.Split(*faults, ",")

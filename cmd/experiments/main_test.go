@@ -4,11 +4,17 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
+
+	"cdnconsistency/internal/topology"
+	"cdnconsistency/internal/trace"
+	"cdnconsistency/internal/tracegen"
 )
 
 func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
@@ -242,5 +248,55 @@ func TestRunCheckpointSafetyChecks(t *testing.T) {
 	}
 	if !strings.Contains(out, "fig16") {
 		t.Errorf("resume did not re-emit the recorded figure:\n%s", out)
+	}
+}
+
+// TestRunImportReplay drives the import-replay figure end to end from a
+// generated crawl trace: the sweep collapses to that one figure, the output
+// is deterministic, and conflicting flags are rejected.
+func TestRunImportReplay(t *testing.T) {
+	res, err := tracegen.Generate(tracegen.Config{
+		Topology: topology.Config{Servers: 12, Seed: 21},
+		Days:     1,
+		Users:    10,
+		Seed:     21,
+	})
+	if err != nil {
+		t.Fatalf("tracegen.Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, res.Trace); err != nil {
+		t.Fatalf("trace.Write: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "crawl.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-scale", "small", "-import", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"import-replay", "inferred spec: 12 servers", "HAT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	again, _, err := runCLI(t, "-scale", "small", "-import", path)
+	if err != nil {
+		t.Fatalf("run #2: %v", err)
+	}
+	if out != again {
+		t.Errorf("import-replay output differs across runs:\n%s\nvs\n%s", out, again)
+	}
+	for _, args := range [][]string{
+		{"-import", path, "-only", "fig16"},
+		{"-import", path, "-faults", "churn"},
+		{"-import", path, "-shards", "2"},
+		{"-import", path, "-plan", "x.json"},
+		{"-import", filepath.Join(t.TempDir(), "missing.jsonl")},
+	} {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cdnconsistency/internal/trace"
 )
@@ -31,6 +32,29 @@ func TestRunWritesValidTrace(t *testing.T) {
 	}
 }
 
+func TestRunShortAccessLog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "crawl.log")
+	err := run([]string{"-servers", "10", "-days", "1", "-users", "4", "-seed", "3", "-short", "-format", "accesslog", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ParseAccessLog(f)
+	if err != nil {
+		t.Fatalf("ParseAccessLog: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if want := 12 * time.Minute; tr.Meta.DayLength != want {
+		t.Errorf("-short day length %v, want %v", tr.Meta.DayLength, want)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-servers", "notanumber"}); err == nil {
 		t.Error("bad flag accepted")
@@ -40,5 +64,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-servers", "5", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
 		t.Error("unwritable output accepted")
+	}
+	if err := run([]string{"-servers", "5", "-format", "csv", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

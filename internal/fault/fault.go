@@ -194,7 +194,8 @@ func (s Spec) Empty() bool {
 }
 
 // ParseSpec decodes a JSON scenario. Unknown fields are rejected so typos
-// in hand-written scenario files fail loudly.
+// in hand-written scenario files fail loudly, and the decoded spec must
+// pass Validate.
 func ParseSpec(data []byte) (Spec, error) {
 	var s Spec
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -202,7 +203,155 @@ func ParseSpec(data []byte) (Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return Spec{}, fmt.Errorf("fault: parse spec: %w", err)
 	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("fault: parse spec: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
 	return s, nil
+}
+
+// checkPoint validates one at/at_frac pair: the absolute time non-negative,
+// the fraction inside [0, 1].
+func checkPoint(what string, at Duration, frac float64) error {
+	if at.D() < 0 {
+		return fmt.Errorf("%s: negative time %v", what, at.D())
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("%s: fraction %v outside [0, 1]", what, frac)
+	}
+	return nil
+}
+
+// checkWindow validates a start/duration window declared either absolutely
+// or as horizon fractions.
+func checkWindow(what string, start Duration, startFrac float64, dur Duration, durFrac float64) error {
+	if err := checkPoint(what+" start", start, startFrac); err != nil {
+		return err
+	}
+	if err := checkPoint(what+" duration", dur, durFrac); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Validate checks the deployment-independent invariants of the spec:
+// non-negative times and counts, fractions within range, windows and
+// factors structurally sane. Deployment-dependent checks (victim indices
+// against the server count, windows against the horizon) stay in Compile,
+// which knows the concrete environment. A spec that fails Validate can
+// never compile; one that passes may still be rejected by Compile.
+func (s Spec) Validate() error {
+	for i, cr := range s.Crashes {
+		if cr.Server < 0 {
+			return fmt.Errorf("fault: crash %d: negative server index %d", i, cr.Server)
+		}
+		if err := checkPoint(fmt.Sprintf("fault: crash %d", i), cr.At, cr.AtFrac); err != nil {
+			return err
+		}
+		if cr.RecoverAfter.D() < 0 {
+			return fmt.Errorf("fault: crash %d: negative recover_after %v", i, cr.RecoverAfter.D())
+		}
+	}
+	if rc := s.RandomCrashes; rc != nil {
+		if rc.Count < 0 {
+			return fmt.Errorf("fault: random_crashes: negative count %d", rc.Count)
+		}
+		if rc.Frac < 0 || rc.Frac > 1 {
+			return fmt.Errorf("fault: random_crashes: frac %v outside [0, 1]", rc.Frac)
+		}
+		if rc.Count == 0 && rc.Frac == 0 {
+			return fmt.Errorf("fault: random_crashes: count and frac both unset")
+		}
+		if rc.RecoverAfter.D() < 0 {
+			return fmt.Errorf("fault: random_crashes: negative recover_after %v", rc.RecoverAfter.D())
+		}
+		start, frac := rc.WindowStart, rc.WindowFrac
+		if start != 0 || frac != 0 {
+			if start < 0 || start >= 1 {
+				return fmt.Errorf("fault: random_crashes: window_start %v outside [0, 1)", start)
+			}
+			if frac <= 0 || start+frac > 1 {
+				return fmt.Errorf("fault: random_crashes: window [%v, %v+%v] outside (0, 1]", start, start, frac)
+			}
+		}
+	}
+	for i, w := range s.ProviderOutages {
+		if err := checkWindow(fmt.Sprintf("fault: provider_outage %d", i), w.Start, w.StartFrac, w.Duration, w.DurFrac); err != nil {
+			return err
+		}
+	}
+	for i, p := range s.Partitions {
+		if err := checkWindow(fmt.Sprintf("fault: partition %d", i), p.Start, p.StartFrac, p.Duration, p.DurFrac); err != nil {
+			return err
+		}
+		for _, isp := range p.ISPs {
+			if isp < 0 {
+				return fmt.Errorf("fault: partition %d: negative isp %d", i, isp)
+			}
+		}
+		if p.RandomISPs < 0 {
+			return fmt.Errorf("fault: partition %d: negative random_isps %d", i, p.RandomISPs)
+		}
+		if len(p.ISPs) == 0 && p.RandomISPs == 0 {
+			return fmt.Errorf("fault: partition %d: isps and random_isps both unset", i)
+		}
+	}
+	for i, o := range s.Overloads {
+		if o.Server < 0 {
+			return fmt.Errorf("fault: overload %d: negative server index %d", i, o.Server)
+		}
+		if o.RandomServers < 0 {
+			return fmt.Errorf("fault: overload %d: negative random_servers %d", i, o.RandomServers)
+		}
+		if err := checkWindow(fmt.Sprintf("fault: overload %d", i), o.Start, o.StartFrac, o.Duration, o.DurFrac); err != nil {
+			return err
+		}
+		if o.Factor <= 1 {
+			return fmt.Errorf("fault: overload %d: factor %v must be > 1", i, o.Factor)
+		}
+	}
+	for i, r := range s.Regional {
+		if r.RadiusKm <= 0 {
+			return fmt.Errorf("fault: regional %d: non-positive radius %v km", i, r.RadiusKm)
+		}
+		if err := checkPoint(fmt.Sprintf("fault: regional %d", i), r.At, r.AtFrac); err != nil {
+			return err
+		}
+		if r.RecoverAfter.D() < 0 {
+			return fmt.Errorf("fault: regional %d: negative recover_after %v", i, r.RecoverAfter.D())
+		}
+		if r.Frac < 0 || r.Frac > 1 {
+			return fmt.Errorf("fault: regional %d: frac %v outside [0, 1]", i, r.Frac)
+		}
+	}
+	if ps := s.ProviderStorm; ps != nil {
+		if err := checkWindow("fault: provider_storm", ps.Start, ps.StartFrac, ps.Duration, ps.DurFrac); err != nil {
+			return err
+		}
+		if ps.Stagger.D() < 0 {
+			return fmt.Errorf("fault: provider_storm: negative stagger %v", ps.Stagger.D())
+		}
+	}
+	for i, f := range s.ProviderFlaps {
+		if f.Provider < 0 {
+			return fmt.Errorf("fault: provider_flap %d: negative provider index %d", i, f.Provider)
+		}
+		if f.Count <= 0 {
+			return fmt.Errorf("fault: provider_flap %d: count %d must be > 0", i, f.Count)
+		}
+		if err := checkPoint(fmt.Sprintf("fault: provider_flap %d", i), f.Start, f.StartFrac); err != nil {
+			return err
+		}
+		if f.Period.D() <= 0 {
+			return fmt.Errorf("fault: provider_flap %d: non-positive period %v", i, f.Period.D())
+		}
+		if f.Downtime.D() <= 0 || f.Downtime.D() >= f.Period.D() {
+			return fmt.Errorf("fault: provider_flap %d: downtime %v must lie inside (0, period %v)", i, f.Downtime.D(), f.Period.D())
+		}
+	}
+	return nil
 }
 
 // distanceWithin reports whether a server location lies inside the regional

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -296,5 +297,72 @@ func TestSpecRoundTripsThroughJSON(t *testing.T) {
 	}
 	if !reflect.DeepEqual(spec, back) {
 		t.Errorf("round trip changed spec:\n%+v\n%+v", spec, back)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := []Spec{
+		{},
+		{Crashes: []Crash{{Server: 3, AtFrac: 0.5, RecoverAfter: Duration(time.Minute)}}},
+		{RandomCrashes: &RandomCrashes{Frac: 0.125}},
+		{Partitions: []Partition{{StartFrac: 0.4, DurFrac: 0.2, RandomISPs: 4}}},
+		{Overloads: []Overload{{RandomServers: 2, StartFrac: 0.3, DurFrac: 0.2, Factor: 8}}},
+		{Regional: []Regional{{Lat: 40, Lon: -74, RadiusKm: 500, AtFrac: 0.5}}},
+		{ProviderStorm: &ProviderStorm{StartFrac: 0.2, DurFrac: 0.1, Stagger: Duration(time.Minute)}},
+		{ProviderFlaps: []ProviderFlap{{Count: 3, Period: Duration(time.Minute), Downtime: Duration(10 * time.Second)}}},
+	}
+	for i, s := range ok {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid spec %d rejected: %v", i, err)
+		}
+	}
+	bad := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"negative crash server", Spec{Crashes: []Crash{{Server: -1}}}, "negative server"},
+		{"crash frac above 1", Spec{Crashes: []Crash{{AtFrac: 1.5}}}, "outside [0, 1]"},
+		{"negative recover", Spec{Crashes: []Crash{{RecoverAfter: Duration(-time.Second)}}}, "negative recover_after"},
+		{"random crashes unset", Spec{RandomCrashes: &RandomCrashes{}}, "count and frac both unset"},
+		{"random crashes frac", Spec{RandomCrashes: &RandomCrashes{Frac: 2}}, "outside [0, 1]"},
+		{"random crashes window", Spec{RandomCrashes: &RandomCrashes{Count: 1, WindowStart: 0.9, WindowFrac: 0.5}}, "outside (0, 1]"},
+		{"outage negative start", Spec{ProviderOutages: []Window{{Start: Duration(-time.Second)}}}, "negative time"},
+		{"partition no isps", Spec{Partitions: []Partition{{DurFrac: 0.1}}}, "both unset"},
+		{"partition negative isp", Spec{Partitions: []Partition{{ISPs: []int{-3}}}}, "negative isp"},
+		{"overload factor", Spec{Overloads: []Overload{{Factor: 1}}}, "must be > 1"},
+		{"regional radius", Spec{Regional: []Regional{{RadiusKm: 0}}}, "non-positive radius"},
+		{"storm stagger", Spec{ProviderStorm: &ProviderStorm{Stagger: Duration(-time.Second)}}, "negative stagger"},
+		{"flap count", Spec{ProviderFlaps: []ProviderFlap{{Period: Duration(time.Minute), Downtime: Duration(time.Second)}}}, "count"},
+		{"flap downtime", Spec{ProviderFlaps: []ProviderFlap{{Count: 1, Period: Duration(time.Minute), Downtime: Duration(time.Minute)}}}, "downtime"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		s, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("built-in scenario %q fails Validate: %v", name, err)
+		}
+	}
+}
+
+func TestParseSpecRejectsTrailingData(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"crashes":[{"server":0}]} {}`)); err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("want trailing-data error, got %v", err)
 	}
 }

@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"fmt"
+
+	"cdnconsistency/internal/cdn"
+	"cdnconsistency/internal/core"
+	"cdnconsistency/internal/stats"
+	"cdnconsistency/internal/traceimport"
+)
+
+// ImportReplay replays an imported spec bundle across the six named
+// systems: the inferred server map, TTLs, update rate, user population,
+// and fault windows replace the synthetic deployment, so the comparison
+// runs on a workload shaped by observed data rather than by the paper's
+// defaults. Failover is enabled, since the bundle's fault windows model
+// the trace's absence runs.
+func ImportReplay(scale SimScale, b *traceimport.Bundle) (*Table, error) {
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("figures: import-replay: %w", err)
+	}
+	s := b.Summary
+	t := &Table{
+		ID:    "import-replay",
+		Title: "trace replay: named systems on the imported deployment",
+		Note: fmt.Sprintf("inferred spec: %d servers at %d sites, %d users, server TTL %v, ~%.0f updates/day over %v, %d fault windows",
+			s.Servers, s.Sites, s.Users, s.ServerTTL.D(), s.UpdatesPerDay, s.DayLength.D(), len(b.CrashWindows())),
+		Header: []string{"system", "server_mean_s", "server_p5/med/p95", "user_mean_s", "user_p5/med/p95", "msgs_to_servers", "crashes"},
+	}
+	systems := core.Systems()
+	results, err := collectRuns(t, scale.Parallel, len(systems), func(i int) (*cdn.Result, error) {
+		// Options are materialized per run: the bundle's topology must not
+		// be shared across concurrently running simulations.
+		bopts, err := b.Options()
+		if err != nil {
+			return nil, fmt.Errorf("figures: import-replay: %w", err)
+		}
+		opts := []core.Option{
+			core.WithClusters(scale.Clusters),
+			core.WithSeed(scale.Seed),
+		}
+		opts = append(opts, bopts...)
+		opts = append(opts, core.WithFailover())
+		if scale.Ctx != nil {
+			opts = append(opts, core.WithContext(scale.Ctx))
+		}
+		if scale.Audit {
+			opts = append(opts, core.WithAudit(scale.AuditCadence))
+		}
+		if scale.Probe != nil {
+			opts = append(opts, core.WithTick(scale.Probe))
+		}
+		res, err := core.Run(systems[i], opts...)
+		if err != nil {
+			return nil, fmt.Errorf("figures: import-replay: %s: %w", systems[i].Name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		res := results[i]
+		ss, _ := stats.Summarize(res.ServerAvgInconsistency)
+		us, _ := stats.Summarize(res.UserAvgInconsistency)
+		t.AddRow(sys.Name,
+			f3(res.MeanServerInconsistency()),
+			fmt.Sprintf("%.2f/%.2f/%.2f", ss.P5, ss.Median, ss.P95),
+			f3(res.MeanUserInconsistency()),
+			fmt.Sprintf("%.2f/%.2f/%.2f", us.P5, us.Median, us.P95),
+			fmt.Sprintf("%d", res.UpdateMsgsToServers),
+			fmt.Sprintf("%d", res.Crashes))
+	}
+	return t, nil
+}

@@ -5,9 +5,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"cdnconsistency/internal/traceimport"
 )
 
-// LoadFile parses one plan file.
+// LoadFile parses one plan file. A plan with an import has its bundle
+// resolved here, relative to the plan file's directory — Validate never
+// touches the filesystem, so resolution lives with the file loader.
 func LoadFile(path string) (*Plan, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -16,6 +20,17 @@ func LoadFile(path string) (*Plan, error) {
 	p, err := ParsePlan(data)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Import != "" {
+		spec := p.Import
+		if !filepath.IsAbs(spec) {
+			spec = filepath.Join(filepath.Dir(path), spec)
+		}
+		b, _, err := traceimport.LoadAny(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: import: %w", path, err)
+		}
+		p.SetImportBundle(b)
 	}
 	return p, nil
 }

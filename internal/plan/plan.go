@@ -33,6 +33,7 @@ import (
 	"cdnconsistency/internal/core"
 	"cdnconsistency/internal/fault"
 	"cdnconsistency/internal/federation"
+	"cdnconsistency/internal/traceimport"
 	"cdnconsistency/internal/workload"
 )
 
@@ -117,6 +118,16 @@ type Plan struct {
 	// explicit "Method/Infra" pair (e.g. "TTL/Multicast"). Each system is
 	// one matrix axis entry.
 	Systems []string `json:"systems"`
+
+	// Import replays an inferred deployment (internal/traceimport): the
+	// path — relative to the plan file's directory — of a bundle JSON, a
+	// JSONL crawl trace, or a "#cdnlog" access log. The bundle supplies
+	// the topology, TTLs, update workload, user population, and fault
+	// windows, so Import is mutually exclusive with the plan fields it
+	// replaces (servers, TTLs, game, population, faults, federation,
+	// shards). The file is resolved by LoadFile, never by Validate, which
+	// keeps plan parsing free of file IO.
+	Import string `json:"import,omitempty"`
 	// Seeds is the second matrix axis; default [1].
 	Seeds []int64 `json:"seeds,omitempty"`
 
@@ -184,7 +195,21 @@ type Plan struct {
 	// whole matrix has run (see EvalCompares): e.g. "HAT's provider load is
 	// at most 0.5x Push's".
 	Compare []Compare `json:"compare,omitempty"`
+
+	// bundle is the resolved Import spec, loaded by LoadFile (or injected
+	// by SetImportBundle). It never marshals: the plan file stays a
+	// pointer to the import, not a copy of it.
+	bundle *traceimport.Bundle
 }
+
+// SetImportBundle attaches a resolved import bundle to the plan, the hook
+// LoadFile uses after reading Plan.Import's file. Callers constructing plans
+// in memory can use it to skip the file round trip.
+func (p *Plan) SetImportBundle(b *traceimport.Bundle) { p.bundle = b }
+
+// ImportBundle returns the resolved import bundle, or nil when the plan has
+// no import (or was parsed without LoadFile).
+func (p *Plan) ImportBundle() *traceimport.Bundle { return p.bundle }
 
 // Compare is one cross-system SLO: it relates the same metric extracted from
 // two of the plan's systems at the same seed — Left Op Factor x Right. Both
@@ -366,10 +391,33 @@ func (p *Plan) Validate() error {
 	default:
 		return fmt.Errorf("plan %s: unknown user_model %q (want \"explicit\" or \"cohort\")", p.Name, p.UserModel)
 	}
+	if p.Import != "" {
+		for _, c := range []struct {
+			name string
+			set  bool
+		}{
+			{"servers", p.Servers > 0},
+			{"users_per_server", p.UsersPerServer > 0},
+			{"server_ttl", p.ServerTTL > 0},
+			{"user_ttl", p.UserTTL > 0},
+			{"update_size_kb", p.UpdateSizeKB > 0},
+			{"game", p.Game != nil},
+			{"population", p.Population != nil},
+			{"population_gen", p.PopulationGen != nil},
+			{"fault_scenario", p.FaultScenario != ""},
+			{"faults", p.Faults != nil},
+			{"federation", p.Federation != nil},
+			{"shards", p.Shards > 0},
+		} {
+			if c.set {
+				return fmt.Errorf("plan %s: import and %s are mutually exclusive (the imported bundle supplies it)", p.Name, c.name)
+			}
+		}
+	}
 	if p.Population != nil && p.PopulationGen != nil {
 		return fmt.Errorf("plan %s: population and population_gen are mutually exclusive", p.Name)
 	}
-	if p.UserModel == "cohort" && p.Population == nil && p.PopulationGen == nil {
+	if p.UserModel == "cohort" && p.Population == nil && p.PopulationGen == nil && p.Import == "" {
 		return fmt.Errorf("plan %s: user_model cohort requires population or population_gen", p.Name)
 	}
 	if p.Population != nil {
@@ -390,6 +438,11 @@ func (p *Plan) Validate() error {
 	}
 	if p.FaultScenario != "" {
 		if _, err := fault.Scenario(p.FaultScenario); err != nil {
+			return fmt.Errorf("plan %s: %w", p.Name, err)
+		}
+	}
+	if p.Faults != nil {
+		if err := p.Faults.Validate(); err != nil {
 			return fmt.Errorf("plan %s: %w", p.Name, err)
 		}
 	}
@@ -470,10 +523,14 @@ func (p *Plan) Validate() error {
 }
 
 // EffectiveServerTTL is the server TTL assertions with a ttl_mult resolve
-// against: the plan's, or the simulation default (60 s) when unset.
+// against: the plan's, the imported bundle's, or the simulation default
+// (60 s) when unset.
 func (p *Plan) EffectiveServerTTL() time.Duration {
 	if p.ServerTTL > 0 {
 		return p.ServerTTL.D()
+	}
+	if p.bundle != nil {
+		return p.bundle.Summary.ServerTTL.D()
 	}
 	return 60 * time.Second
 }

@@ -142,6 +142,19 @@ type variant struct {
 func (c Cell) coreOptions(v variant, opt RunOptions) ([]core.Option, error) {
 	p := c.Plan
 	opts := []core.Option{core.WithSeed(c.Seed)}
+	if p.Import != "" {
+		if p.bundle == nil {
+			return nil, fmt.Errorf("plan %s: import %q was not resolved (load the plan with LoadFile or attach a bundle with SetImportBundle)", p.Name, p.Import)
+		}
+		// The bundle's options are materialized per run: WithGame draws
+		// from the seed already applied above, and the topology must not
+		// be shared across concurrent cell runs.
+		bopts, err := p.bundle.Options()
+		if err != nil {
+			return nil, fmt.Errorf("plan %s: %w", p.Name, err)
+		}
+		opts = append(opts, bopts...)
+	}
 	if p.Servers > 0 {
 		opts = append(opts, core.WithServers(p.Servers))
 	}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The access-log flavor is a line-oriented key=value format shaped like a
+// CDN edge access log: a header line with the crawl parameters, one
+// "#server" line per crawled server, then one "poll" line per record. It is
+// the import format for operators who have edge logs rather than our JSONL
+// schema. Meta fields the analyses re-derive (description, the generator's
+// ServerTTL, the seed) are deliberately not representable: a real access
+// log would not carry them either.
+//
+// Parsing is strict: unknown keys, duplicate keys, malformed values,
+// out-of-order timestamps, blank lines, trailing tokens, and a truncated
+// last line (missing the final newline) are all structured errors with line
+// numbers — never panics, never silent drops. FuzzParseAccessLog locks that
+// contract.
+//
+// Floats are written in shortest-round-trip form and durations in
+// time.Duration syntax, so WriteAccessLog -> ParseAccessLog reproduces the
+// representable part of a trace exactly.
+
+const accessLogHeader = "#cdnlog v1"
+
+// WriteAccessLog serializes a trace in the access-log line format. Records
+// must already be in canonical (day, time) order — call SortRecords first —
+// because the format, like a real log, promises monotone timestamps.
+func WriteAccessLog(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "%s days=%d daylen=%s poll=%s\n",
+		accessLogHeader, t.Meta.Days, t.Meta.DayLength, t.Meta.PollInterval)
+	for _, s := range t.Servers {
+		fmt.Fprintf(bw, "#server id=%s lat=%s lon=%s isp=%d city=%d dist=%s\n",
+			s.ID, fg(s.Lat), fg(s.Lon), s.ISP, s.City, fg(s.DistanceKm))
+	}
+	lastDay, lastAt := 0, time.Duration(-1)
+	for i, r := range t.Records {
+		if r.Day < lastDay || (r.Day == lastDay && r.At < lastAt) {
+			return fmt.Errorf("trace: access log record %d out of (day, time) order; SortRecords first", i)
+		}
+		lastDay, lastAt = r.Day, r.At
+		fmt.Fprintf(bw, "poll day=%d at=%s srv=%s via=%s rtt=%s snap=%d",
+			r.Day, r.At, r.Server, r.Poller, r.RTT, r.Snapshot)
+		if r.Absent {
+			bw.WriteString(" absent")
+		}
+		if r.Provider {
+			bw.WriteString(" provider")
+		}
+		if r.UserView {
+			bw.WriteString(" user")
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// fg formats a float in shortest form that round-trips through ParseFloat.
+func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseAccessLog parses a trace written by WriteAccessLog (or an external
+// log in the same format) and validates it.
+func ParseAccessLog(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	t := &Trace{}
+	lineNo := 0
+	sawHeader := false
+	lastDay, lastAt := 0, time.Duration(-1)
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			if line != "" {
+				return nil, fmt.Errorf("trace: access log line %d: truncated last line (missing newline)", lineNo+1)
+			}
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: access log: %w", err)
+		}
+		lineNo++
+		line = strings.TrimSuffix(line, "\n")
+		if strings.TrimSpace(line) == "" {
+			return nil, fmt.Errorf("trace: access log line %d: blank line", lineNo)
+		}
+		if !sawHeader {
+			if !strings.HasPrefix(line, accessLogHeader+" ") {
+				return nil, fmt.Errorf("trace: access log line %d: missing %q header", lineNo, accessLogHeader)
+			}
+			meta, err := parseLogHeader(strings.Fields(line[len(accessLogHeader)+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: access log line %d: %w", lineNo, err)
+			}
+			t.Meta = meta
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "#server":
+			s, err := parseLogServer(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: access log line %d: %w", lineNo, err)
+			}
+			t.Servers = append(t.Servers, s)
+		case "poll":
+			rec, err := parseLogPoll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: access log line %d: %w", lineNo, err)
+			}
+			if rec.Day < lastDay || (rec.Day == lastDay && rec.At < lastAt) {
+				return nil, fmt.Errorf("trace: access log line %d: out-of-order timestamp (day %d at %v after day %d at %v)",
+					lineNo, rec.Day, rec.At, lastDay, lastAt)
+			}
+			lastDay, lastAt = rec.Day, rec.At
+			t.Records = append(t.Records, rec)
+		default:
+			return nil, fmt.Errorf("trace: access log line %d: unknown line kind %q", lineNo, fields[0])
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: access log: missing %q header", accessLogHeader)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// kvScan walks key=value tokens, rejecting unknown, duplicate, and
+// malformed keys. Bare tokens (no '=') are dispatched to flag when allowed.
+func kvScan(tokens []string, set map[string]func(string) error, flag func(string) error) error {
+	seen := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			if flag == nil {
+				return fmt.Errorf("stray token %q", tok)
+			}
+			if seen[tok] {
+				return fmt.Errorf("duplicate flag %q", tok)
+			}
+			seen[tok] = true
+			if err := flag(tok); err != nil {
+				return err
+			}
+			continue
+		}
+		parse, known := set[key]
+		if !known {
+			return fmt.Errorf("unknown field %q", key)
+		}
+		if seen[key] {
+			return fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		if err := parse(val); err != nil {
+			return fmt.Errorf("field %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+func parseLogHeader(tokens []string) (Meta, error) {
+	var m Meta
+	err := kvScan(tokens, map[string]func(string) error{
+		"days":   func(v string) (err error) { m.Days, err = strconv.Atoi(v); return },
+		"daylen": func(v string) (err error) { m.DayLength, err = time.ParseDuration(v); return },
+		"poll":   func(v string) (err error) { m.PollInterval, err = time.ParseDuration(v); return },
+	}, nil)
+	if err != nil {
+		return Meta{}, err
+	}
+	if m.Days == 0 || m.PollInterval == 0 {
+		return Meta{}, fmt.Errorf("header needs days and poll")
+	}
+	return m, nil
+}
+
+func parseLogServer(tokens []string) (ServerInfo, error) {
+	var s ServerInfo
+	err := kvScan(tokens, map[string]func(string) error{
+		"id":   func(v string) error { s.ID = v; return nil },
+		"lat":  func(v string) (err error) { s.Lat, err = strconv.ParseFloat(v, 64); return },
+		"lon":  func(v string) (err error) { s.Lon, err = strconv.ParseFloat(v, 64); return },
+		"isp":  func(v string) (err error) { s.ISP, err = strconv.Atoi(v); return },
+		"city": func(v string) (err error) { s.City, err = strconv.Atoi(v); return },
+		"dist": func(v string) (err error) { s.DistanceKm, err = strconv.ParseFloat(v, 64); return },
+	}, nil)
+	if err != nil {
+		return ServerInfo{}, err
+	}
+	if s.ID == "" {
+		return ServerInfo{}, fmt.Errorf("#server line needs id")
+	}
+	return s, nil
+}
+
+func parseLogPoll(tokens []string) (PollRecord, error) {
+	var rec PollRecord
+	err := kvScan(tokens, map[string]func(string) error{
+		"day":  func(v string) (err error) { rec.Day, err = strconv.Atoi(v); return },
+		"at":   func(v string) (err error) { rec.At, err = time.ParseDuration(v); return },
+		"srv":  func(v string) error { rec.Server = v; return nil },
+		"via":  func(v string) error { rec.Poller = v; return nil },
+		"rtt":  func(v string) (err error) { rec.RTT, err = time.ParseDuration(v); return },
+		"snap": func(v string) (err error) { rec.Snapshot, err = strconv.Atoi(v); return },
+	}, func(flag string) error {
+		switch flag {
+		case "absent":
+			rec.Absent = true
+		case "provider":
+			rec.Provider = true
+		case "user":
+			rec.UserView = true
+		default:
+			return fmt.Errorf("unknown flag %q", flag)
+		}
+		return nil
+	})
+	if err != nil {
+		return PollRecord{}, err
+	}
+	if rec.Server == "" || rec.Poller == "" {
+		return PollRecord{}, fmt.Errorf("poll line needs srv and via")
+	}
+	if rec.Absent && rec.Snapshot != 0 {
+		return PollRecord{}, fmt.Errorf("absent poll carries snapshot %d", rec.Snapshot)
+	}
+	return rec, nil
+}

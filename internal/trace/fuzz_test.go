@@ -38,6 +38,47 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzParseAccessLog exercises the access-log parser against arbitrary
+// input: it must never panic, and anything it accepts must round-trip
+// through WriteAccessLog byte-exactly (the accepted trace is sorted and
+// fully representable by construction).
+func FuzzParseAccessLog(f *testing.F) {
+	var seed bytes.Buffer
+	st := sampleTrace()
+	st.SortRecords()
+	if err := WriteAccessLog(&seed, st); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("#cdnlog v1 days=1 daylen=1m0s poll=10s\n")
+	f.Add("#cdnlog v1 days=1 daylen=1m0s poll=10s\n#server id=a\npoll day=0 at=1s srv=a via=p rtt=1ms snap=0\n")
+	f.Add("#cdnlog v1 days=1 poll=10s days=2\n")
+	f.Add("poll day=0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseAccessLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteAccessLog(&buf, tr); err != nil {
+			t.Fatalf("WriteAccessLog after successful parse: %v", err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		again, err := ParseAccessLog(&buf)
+		if err != nil {
+			t.Fatalf("ParseAccessLog of own output: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteAccessLog(&second, again); err != nil {
+			t.Fatalf("WriteAccessLog second pass: %v", err)
+		}
+		if !bytes.Equal(first, second.Bytes()) {
+			t.Fatal("access log round trip is not byte-stable")
+		}
+	})
+}
+
 // FuzzReadCSV exercises the CSV record reader the same way.
 func FuzzReadCSV(f *testing.F) {
 	var seed bytes.Buffer

@@ -202,7 +202,6 @@ func GeneratePopulation(cfg PopulationConfig) (*Population, error) {
 // remainder so the result sums to total exactly.
 func heavyTailedCounts(rng *rand.Rand, n, total int, alpha float64) []int {
 	weights := make([]float64, n)
-	var sum float64
 	for i := range weights {
 		w := 1.0
 		if alpha > 0 {
@@ -215,7 +214,35 @@ func heavyTailedCounts(rng *rand.Rand, n, total int, alpha float64) []int {
 			}
 		}
 		weights[i] = w
+	}
+	// The weights are positive by construction, so ExactCounts cannot fail.
+	counts, _ := ExactCounts(weights, total)
+	return counts
+}
+
+// ExactCounts distributes total units over len(weights) buckets
+// proportionally to the weights, rounding by largest remainder so the
+// result sums to total exactly — the apportionment primitive behind both
+// the heavy-tailed population generator and trace-import workload
+// inference. Ties break toward the lower index, so the result is a pure
+// function of its inputs. Weights must be non-negative with a positive sum.
+func ExactCounts(weights []float64, total int) ([]int, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: ExactCounts with no weights")
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("workload: ExactCounts with negative total %d", total)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("workload: ExactCounts weight %d is %v", i, w)
+		}
 		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("workload: ExactCounts weights sum to %v", sum)
 	}
 	counts := make([]int, n)
 	type frac struct {
@@ -241,5 +268,5 @@ func heavyTailedCounts(rng *rand.Rand, n, total int, alpha float64) []int {
 	for i := 0; i < total-assigned; i++ {
 		counts[rems[i%n].idx]++
 	}
-	return counts
+	return counts, nil
 }

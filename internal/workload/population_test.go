@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -213,4 +214,64 @@ func FuzzParsePopulation(f *testing.F) {
 			t.Fatal("Marshal emitted tabs; indented output should use spaces")
 		}
 	})
+}
+
+func TestExactCountsSumsAndDeterminism(t *testing.T) {
+	weights := []float64{3.5, 1.1, 0, 2.4, 0.7}
+	first, err := ExactCounts(weights, 97)
+	if err != nil {
+		t.Fatalf("ExactCounts: %v", err)
+	}
+	sum := 0
+	for i, c := range first {
+		if c < 0 {
+			t.Fatalf("count %d is negative: %d", i, c)
+		}
+		sum += c
+	}
+	if sum != 97 {
+		t.Fatalf("counts sum to %d, want 97", sum)
+	}
+	if first[2] != 0 {
+		t.Fatalf("zero weight got %d units", first[2])
+	}
+	again, err := ExactCounts(weights, 97)
+	if err != nil {
+		t.Fatalf("second ExactCounts: %v", err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("ExactCounts is not deterministic: %v vs %v", first, again)
+	}
+}
+
+func TestExactCountsProportional(t *testing.T) {
+	counts, err := ExactCounts([]float64{1, 2, 1}, 400)
+	if err != nil {
+		t.Fatalf("ExactCounts: %v", err)
+	}
+	if counts[0] != 100 || counts[1] != 200 || counts[2] != 100 {
+		t.Fatalf("counts %v, want [100 200 100]", counts)
+	}
+}
+
+func TestExactCountsRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		total   int
+	}{
+		{"no weights", nil, 10},
+		{"negative total", []float64{1}, -1},
+		{"negative weight", []float64{1, -2}, 10},
+		{"nan weight", []float64{math.NaN()}, 10},
+		{"inf weight", []float64{math.Inf(1)}, 10},
+		{"zero sum", []float64{0, 0}, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ExactCounts(tc.weights, tc.total); err == nil {
+				t.Fatal("ExactCounts accepted invalid input")
+			}
+		})
+	}
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Import smoke (`make import-smoke`, the CI import-smoke job):
+#
+#   1. regenerate the committed crawl fixture (tracegen -short, fixed seed)
+#      and re-infer its bundle; it must be byte-identical to
+#      plans/bundles/smoke.json — the estimators and the fixture move
+#      together or not at all,
+#   2. the access-log rendering of the same crawl must infer the identical
+#      bundle (format convergence),
+#   3. replay through cdnsim -import twice; stdout must be byte-identical
+#      (deterministic replay), and importing the raw trace must replay
+#      identically to importing its pre-inferred bundle,
+#   4. run the import-replay plan, which pins the inferred fault windows.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/tracegen" ./cmd/tracegen
+go build -o "$TMP/traceimport" ./cmd/traceimport
+go build -o "$TMP/cdnsim" ./cmd/cdnsim
+
+GEN_ARGS=(-short -servers 24 -days 1 -users 20 -seed 99)
+
+"$TMP/tracegen" "${GEN_ARGS[@]}" -out "$TMP/crawl.jsonl" 2>/dev/null
+"$TMP/traceimport" -in "$TMP/crawl.jsonl" -out "$TMP/bundle.json" 2>/dev/null
+if ! cmp -s "$TMP/bundle.json" plans/bundles/smoke.json; then
+    echo "import-smoke: FAIL inferred bundle deviates from plans/bundles/smoke.json" >&2
+    diff plans/bundles/smoke.json "$TMP/bundle.json" >&2 || true
+    echo "import-smoke: refresh it with: go run ./cmd/tracegen ${GEN_ARGS[*]} | go run ./cmd/traceimport > plans/bundles/smoke.json" >&2
+    exit 1
+fi
+echo "import-smoke: ok   inferred bundle matches the committed fixture"
+
+"$TMP/tracegen" "${GEN_ARGS[@]}" -format accesslog -out "$TMP/crawl.log" 2>/dev/null
+"$TMP/traceimport" -in "$TMP/crawl.log" -out "$TMP/bundle-from-log.json" 2>/dev/null
+cmp "$TMP/bundle-from-log.json" "$TMP/bundle.json"
+echo "import-smoke: ok   access-log flavor infers the identical bundle"
+
+"$TMP/cdnsim" -system HAT -import "$TMP/bundle.json" > "$TMP/run1.out"
+"$TMP/cdnsim" -system HAT -import "$TMP/bundle.json" > "$TMP/run2.out"
+cmp "$TMP/run1.out" "$TMP/run2.out"
+# The raw trace replays identically to its pre-inferred bundle; only the
+# header line naming the input differs.
+"$TMP/cdnsim" -system HAT -import "$TMP/crawl.jsonl" > "$TMP/run3.out"
+cmp <(tail -n +2 "$TMP/run1.out") <(tail -n +2 "$TMP/run3.out")
+echo "import-smoke: ok   cdnsim -import replays deterministically (bundle and raw trace)"
+
+"$TMP/cdnsim" -plan plans/40-import-replay.json >/dev/null
+echo "import-smoke: ok   import-replay plan passes"
+echo "import-smoke: PASS"
